@@ -1,0 +1,147 @@
+//! Binary-heap Dijkstra for nonnegative edge weights.
+
+use crate::SsspResult;
+use rayon::prelude::*;
+use spsep_graph::DiGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by smallest distance first.
+struct Entry {
+    dist: f64,
+    vertex: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.vertex == other.vertex
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are never NaN.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Single-source shortest paths with **nonnegative** weights.
+///
+/// # Panics
+/// Debug builds panic if a negative edge is relaxed; release builds
+/// silently compute a possibly-wrong answer (matching the classic
+/// precondition).
+pub fn dijkstra(g: &DiGraph<f64>, source: usize) -> SsspResult {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        vertex: source as u32,
+    });
+    while let Some(Entry { dist: d, vertex: v }) = heap.pop() {
+        let v = v as usize;
+        if d > dist[v] {
+            continue; // stale entry
+        }
+        for &eid in g.out_edge_ids(v) {
+            let e = g.edge(eid as usize);
+            debug_assert!(e.w >= 0.0, "dijkstra requires nonnegative weights");
+            let nd = d + e.w;
+            let u = e.to as usize;
+            if nd < dist[u] {
+                dist[u] = nd;
+                parent[u] = eid;
+                heap.push(Entry {
+                    dist: nd,
+                    vertex: e.to,
+                });
+            }
+        }
+    }
+    SsspResult { dist, parent }
+}
+
+/// Dijkstra from many sources, parallelized over sources with rayon (the
+/// "embarrassingly parallel over s" baseline for the per-source work
+/// comparisons of Table 1).
+pub fn dijkstra_multi(g: &DiGraph<f64>, sources: &[usize]) -> Vec<SsspResult> {
+    sources.par_iter().map(|&s| dijkstra(g, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsep_graph::generators;
+    use spsep_graph::Edge;
+
+    #[test]
+    fn diamond_distances_and_path() {
+        let g = DiGraph::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 3, 2.0),
+                Edge::new(0, 2, 4.0),
+                Edge::new(2, 3, 0.5),
+            ],
+        );
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0.0, 1.0, 4.0, 3.0]);
+        assert_eq!(r.path_to(&g, 3).unwrap(), vec![0, 1, 3]);
+        assert_eq!(r.path_to(&g, 0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = DiGraph::from_edges(3, vec![Edge::new(0, 1, 1.0)]);
+        let r = dijkstra(&g, 0);
+        assert!(r.dist[2].is_infinite());
+        assert!(r.path_to(&g, 2).is_none());
+    }
+
+    #[test]
+    fn grid_distances_are_consistent_with_triangle_inequality() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let (g, _) = generators::grid(&[6, 7], &mut rng);
+        let r = dijkstra(&g, 0);
+        for e in g.edges() {
+            assert!(
+                r.dist[e.to as usize] <= r.dist[e.from as usize] + e.w + 1e-12,
+                "triangle inequality violated"
+            );
+        }
+        // Every finite-distance vertex's parent edge is tight.
+        for v in 1..g.n() {
+            if r.dist[v].is_finite() {
+                let e = g.edge(r.parent[v] as usize);
+                assert!((r.dist[e.from as usize] + e.w - r.dist[v]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_matches_single() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = generators::grid(&[5, 5], &mut rng);
+        let multi = dijkstra_multi(&g, &[0, 7, 24]);
+        for (i, &s) in [0usize, 7, 24].iter().enumerate() {
+            assert_eq!(multi[i].dist, dijkstra(&g, s).dist);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Reachability baselines: per-source BFS and dense boolean transitive
+//! closure via [`BitMatrix`].
+
+use spsep_graph::{BitMatrix, DiGraph};
+
+/// Vertices reachable from `source` (including itself) by directed BFS.
+pub fn reachable_from<W: Copy>(g: &DiGraph<W>, source: usize) -> Vec<bool> {
+    let dist = spsep_graph::traversal::bfs_directed(g, source);
+    dist.into_iter().map(|d| d != u32::MAX).collect()
+}
+
+/// Dense reflexive transitive closure of the whole graph by repeated
+/// boolean squaring — the `M(n)`-work reference point (Section 1: for
+/// reachability the best NC algorithms use `Õ(M(n))` work).
+pub fn transitive_closure_dense<W: Copy>(g: &DiGraph<W>) -> BitMatrix {
+    let mut adj = BitMatrix::zeros(g.n(), g.n());
+    for e in g.edges() {
+        adj.set(e.from as usize, e.to as usize, true);
+    }
+    adj.transitive_closure()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsep_graph::generators;
+
+    #[test]
+    fn closure_rows_match_bfs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(15);
+        let g = generators::gnm(40, 80, &mut rng);
+        let closure = transitive_closure_dense(&g);
+        for s in 0..g.n() {
+            let bfs = reachable_from(&g, s);
+            for v in 0..g.n() {
+                assert_eq!(closure.get(s, v), bfs[v], "source {s} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_reachability() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(16);
+        let g = generators::layered_dag(4, 6, 2, &mut rng);
+        let r = reachable_from(&g, 0);
+        assert!(r[0]);
+        // Nothing in layer 0 other than the source itself is reachable.
+        for v in 1..6 {
+            assert!(!r[v]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! E5 wall-clock: the two `E⁺` constructions on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spsep_bench::families::Family;
+use spsep_core::{preprocess, Algorithm};
+use spsep_graph::semiring::Tropical;
+use spsep_pram::Metrics;
+use std::time::Duration;
+
+fn bench_constructions(c: &mut Criterion) {
+    let (g, tree) = Family::Grid2D.instance(4_000, 3);
+    let mut group = c.benchmark_group("eplus_construction_grid2d_4k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("alg41_leaves_up", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            std::hint::black_box(
+                preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap(),
+            )
+        })
+    });
+    group.bench_function("alg43_path_doubling", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            std::hint::black_box(
+                preprocess::<Tropical>(&g, &tree, Algorithm::PathDoubling, &metrics).unwrap(),
+            )
+        })
+    });
+    group.bench_function("alg44_shared_doubling", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            std::hint::black_box(
+                preprocess::<Tropical>(&g, &tree, Algorithm::SharedDoubling, &metrics).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E11 wall-clock: 32-source shortest paths with negative edges —
+//! separator pipeline (preprocess + queries) vs Johnson's algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_core::{preprocess, Algorithm};
+use spsep_graph::semiring::Tropical;
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits};
+use std::time::Duration;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (g0, _) = spsep_graph::generators::grid(&[64, 64], &mut rng);
+    let g = spsep_graph::generators::skew_by_potentials(&g0, 3.0, &mut rng);
+    let tree = builders::grid_tree(&[64, 64], RecursionLimits::default());
+    let sources: Vec<usize> = (0..32).map(|i| i * g.n() / 32).collect();
+
+    let mut group = c.benchmark_group("multi_source_grid_64x64_s32");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("separator_end_to_end", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            let pre =
+                preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+            std::hint::black_box(pre.distances_multi(&sources))
+        })
+    });
+    let metrics = Metrics::new();
+    let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+    group.bench_function("separator_queries_only", |b| {
+        b.iter(|| std::hint::black_box(pre.distances_multi(&sources)))
+    });
+    group.bench_function("johnson", |b| {
+        b.iter(|| std::hint::black_box(spsep_baselines::johnson(&g, &sources).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 wall-clock: per-source query cost — scheduled Bellman–Ford vs
+//! exhaustive Bellman–Ford on `G⁺` vs Dijkstra on `G`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spsep_bench::families::Family;
+use spsep_core::{preprocess, Algorithm};
+use spsep_graph::semiring::Tropical;
+use spsep_pram::Metrics;
+use std::time::Duration;
+
+fn bench_per_source(c: &mut Criterion) {
+    let (g, tree) = Family::Grid2D.instance(16_384, 2);
+    let metrics = Metrics::new();
+    let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+
+    let mut group = c.benchmark_group("per_source_grid2d_16k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("scheduled_bf", |b| {
+        b.iter(|| std::hint::black_box(pre.distances_seq(0).0))
+    });
+    group.bench_function("unscheduled_bf_gplus", |b| {
+        b.iter(|| std::hint::black_box(pre.distances_unscheduled(0, g.n()).unwrap().0))
+    });
+    group.bench_function("dijkstra_on_g", |b| {
+        b.iter(|| std::hint::black_box(spsep_baselines::dijkstra(&g, 0).dist))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_source);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 wall-clock: `E⁺` construction (Algorithm 4.1) across the three
+//! `k^μ` families of Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spsep_bench::families::Family;
+use spsep_core::{preprocess, Algorithm};
+use spsep_graph::semiring::Tropical;
+use spsep_pram::Metrics;
+use std::time::Duration;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocessing_alg41");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for family in Family::all() {
+        for n in [1_000usize, 4_000] {
+            let (g, tree) = family.instance(n, 1);
+            group.bench_with_input(
+                BenchmarkId::new(family.label().trim(), g.n()),
+                &(&g, &tree),
+                |b, (g, tree)| {
+                    b.iter(|| {
+                        let metrics = Metrics::new();
+                        std::hint::black_box(
+                            preprocess::<Tropical>(g, tree, Algorithm::LeavesUp, &metrics)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

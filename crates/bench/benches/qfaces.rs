@@ -1,0 +1,45 @@
+//! E10 wall-clock: the Section 6 hammock pipeline vs the direct pipeline
+//! on a few-faces planar graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_core::{preprocess, Algorithm};
+use spsep_graph::semiring::Tropical;
+use spsep_planar::{generate_hammock_graph, HammockSP};
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits};
+use std::time::Duration;
+
+fn bench_qfaces(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let hg = generate_hammock_graph(6, 20, &mut rng);
+    let sources: Vec<usize> = (0..8).map(|i| i * hg.graph.n() / 8).collect();
+
+    let mut group = c.benchmark_group("qfaces_side6_ladder20");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("hammock_preprocess", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            std::hint::black_box(HammockSP::preprocess(&hg, &metrics))
+        })
+    });
+    let metrics = Metrics::new();
+    let sp = HammockSP::preprocess(&hg, &metrics);
+    group.bench_function("hammock_queries", |b| {
+        b.iter(|| std::hint::black_box(sp.distances_multi(&sources)))
+    });
+    let adj = hg.graph.undirected_skeleton();
+    let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+    let pre = preprocess::<Tropical>(&hg.graph, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+    group.bench_function("direct_queries", |b| {
+        b.iter(|| std::hint::black_box(pre.distances_multi(&sources)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qfaces);
+criterion_main!(benches);

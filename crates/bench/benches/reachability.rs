@@ -1,0 +1,52 @@
+//! E8 wall-clock: reachability — bit-matrix separator pipeline vs dense
+//! transitive closure vs per-source BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_core::reach;
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits};
+use std::time::Duration;
+
+fn bench_reachability(c: &mut Criterion) {
+    let side = 32usize;
+    let mut rng = StdRng::seed_from_u64(4);
+    let (base, _) = spsep_graph::generators::grid(&[side, side], &mut rng);
+    let edges: Vec<spsep_graph::Edge<bool>> = base
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 != 0)
+        .map(|(_, e)| spsep_graph::Edge::new(e.from as usize, e.to as usize, true))
+        .collect();
+    let g = spsep_graph::DiGraph::from_edges(base.n(), edges);
+    let tree = builders::grid_tree(&[side, side], RecursionLimits::default());
+
+    let mut group = c.benchmark_group("reachability_grid_32x32");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("separator_preprocess_bitmatrix", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            std::hint::black_box(reach::preprocess_reach(&g, &tree, &metrics))
+        })
+    });
+    let metrics = Metrics::new();
+    let pre = reach::preprocess_reach(&g, &tree, &metrics);
+    group.bench_function("separator_query", |b| {
+        b.iter(|| std::hint::black_box(pre.distances_seq(0).0))
+    });
+    group.bench_function("bfs_per_source", |b| {
+        b.iter(|| std::hint::black_box(spsep_baselines::reachable_from(&g, 0)))
+    });
+    group.bench_function("dense_transitive_closure", |b| {
+        b.iter(|| std::hint::black_box(spsep_baselines::transitive_closure_dense(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E12 wall-clock: difference-constraint solving — separator pipeline vs
+//! Bellman–Ford on grid-structured systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_pram::Metrics;
+use spsep_tvpi::grid_schedule_system;
+use std::time::Duration;
+
+fn bench_tvpi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sys = grid_schedule_system(40, 40, 5.0, 2.0, &mut rng);
+
+    let mut group = c.benchmark_group("tvpi_grid_40x40");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("separator_solve", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new();
+            std::hint::black_box(sys.solve(&metrics))
+        })
+    });
+    group.bench_function("bellman_ford_solve", |b| {
+        b.iter(|| std::hint::black_box(sys.solve_bellman_ford()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tvpi);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p spsep-bench --bin tables            # everything
+//! cargo run --release -p spsep-bench --bin tables -- e1 fig2 # a subset
+//! ```
+//!
+//! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 check
+//! (see DESIGN.md §4 for the paper-artifact mapping).
+
+use spsep_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+    let mut sweep = None;
+    let sweep_points = || {
+        experiments::run_sweep()
+    };
+    let get_sweep = |sweep: &mut Option<Vec<experiments::SweepPoint>>| {
+        if sweep.is_none() {
+            eprintln!("[tables] running the Table 1 sweep (E1–E3 share it)…");
+            *sweep = Some(sweep_points());
+        }
+    };
+
+    let hr = "=".repeat(78);
+    if want("e1") {
+        get_sweep(&mut sweep);
+        println!("{hr}\n{}", experiments::e1_preprocessing_work(sweep.as_ref().unwrap()));
+    }
+    if want("e2") {
+        get_sweep(&mut sweep);
+        println!("{hr}\n{}", experiments::e2_per_source_work(sweep.as_ref().unwrap()));
+    }
+    if want("e3") {
+        get_sweep(&mut sweep);
+        println!("{hr}\n{}", experiments::e3_eplus_size(sweep.as_ref().unwrap()));
+    }
+    if want("e4") {
+        println!("{hr}\n{}", experiments::e4_diameter());
+    }
+    if want("e5") {
+        println!("{hr}\n{}", experiments::e5_alg41_vs_alg43());
+    }
+    if want("fig1") {
+        println!("{hr}\n{}", experiments::fig1());
+    }
+    if want("fig2") {
+        println!("{hr}\n{}", experiments::fig2());
+    }
+    if want("e8") {
+        println!("{hr}\n{}", experiments::e8_reachability());
+    }
+    if want("e9") {
+        println!("{hr}\n{}", experiments::e9_thread_scaling());
+    }
+    if want("e10") {
+        println!("{hr}\n{}", experiments::e10_qfaces());
+    }
+    if want("e11") {
+        println!("{hr}\n{}", experiments::e11_crossover());
+    }
+    if want("e12") {
+        println!("{hr}\n{}", experiments::e12_tvpi());
+    }
+    if want("e13") {
+        println!("{hr}\n{}", experiments::e13_leaf_ablation());
+    }
+    if want("e14") {
+        println!("{hr}\n{}", experiments::e14_builder_comparison());
+    }
+    if want("check") {
+        println!("{hr}\n{}", experiments::consistency_check());
+    }
+}

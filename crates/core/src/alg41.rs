@@ -1,0 +1,277 @@
+//! Algorithm 4.1: computing `E⁺` from the leaves up.
+//!
+//! One parallel phase per tree level, bottom-up. Processing a node `t`
+//! with children `t₁, t₂` (paper steps i–v):
+//!
+//! i.   build `H_S` on `S(t)` with `w(u,v) = min(dist_{G(t₁)}, dist_{G(t₂)})`
+//!      — available because `S(t) ⊆ B(t₁) ∩ B(t₂)`;
+//! ii.  all-pairs shortest paths on `H_S` (Floyd–Warshall); the result is
+//!      `dist_{G(t)}` restricted to `S(t)×S(t)` (Prop. 4.2);
+//! iii. build `H` on `B(t) ∪ S(t)` with `B×S`/`S×B` edges from child
+//!      distances and `S×S` edges from `dist_{H_S}`;
+//! iv.  3-limited shortest paths in `H` from/to every boundary vertex —
+//!      realized as the two rectangular min-plus products
+//!      `(B×S)·(S×S)` and `(B×S)·(S×B)`, which is exactly the
+//!      `O(|B(t)|²|S(t)| + |B(t)||S(t)|²)` work the paper charges;
+//! v.   emit `S×S` and `B×B` distances as `E_t`, and keep the `B×B`
+//!      matrix for the parent.
+//!
+//! Leaves compute `dist_{G(t)}` directly by Floyd–Warshall on their O(1)
+//! size induced subgraph.
+//!
+//! Negative (absorbing) cycles surface as a strictly-better-than-`1̄`
+//! diagonal in a leaf or `H_S` computation — the lowest node whose
+//! separator the cycle crosses necessarily exposes it (paper comment (i)).
+
+use crate::augment::{dedupe_eplus, emit_node_edges, interfaces, AugmentStats, Augmentation, Interface};
+use crate::AbsorbingCycle;
+use rayon::prelude::*;
+use spsep_graph::dense::SemiMatrix;
+use spsep_graph::{DiGraph, Edge, Semiring};
+use spsep_pram::{Counter, Metrics};
+use spsep_separator::SepTree;
+
+/// Per-node output: the interface matrix (row-major over
+/// `Interface::verts`) and this node's `E_t` contribution.
+struct NodeOutput<S: Semiring> {
+    mat: Vec<S::W>,
+    edges: Vec<Edge<S::W>>,
+    raw_pairs: usize,
+    fw_ops: u64,
+    limited_ops: u64,
+    absorbing: bool,
+}
+
+/// Compute `E⁺` with Algorithm 4.1.
+pub fn augment_leaves_up<S: Semiring>(
+    g: &DiGraph<S::W>,
+    tree: &SepTree,
+    metrics: &Metrics,
+) -> Result<Augmentation<S>, AbsorbingCycle> {
+    assert_eq!(g.n(), tree.n(), "tree and graph disagree on n");
+    let ifaces = interfaces(tree);
+    let mut mats: Vec<Option<Vec<S::W>>> = (0..tree.nodes().len()).map(|_| None).collect();
+    let mut eplus: Vec<Edge<S::W>> = Vec::new();
+    let mut raw_pairs = 0usize;
+    let mut absorbing = false;
+
+    for depth in (0..=tree.height()).rev() {
+        let range = tree.nodes_at_level(depth);
+        if range.is_empty() {
+            continue;
+        }
+        metrics.phase(range.len());
+        let outputs: Vec<(u32, NodeOutput<S>)> = range
+            .clone()
+            .into_par_iter()
+            .map(|id| {
+                let node = tree.node(id);
+                let out = if node.is_leaf() {
+                    process_leaf::<S>(g, &tree.node(id).vertices, &ifaces[id as usize])
+                } else {
+                    let (c1, c2) = node.children.expect("internal node");
+                    process_internal::<S>(
+                        &ifaces[id as usize],
+                        &ifaces[c1 as usize],
+                        mats[c1 as usize].as_deref().expect("child processed"),
+                        &ifaces[c2 as usize],
+                        mats[c2 as usize].as_deref().expect("child processed"),
+                    )
+                };
+                (id, out)
+            })
+            .collect();
+        for (id, out) in outputs {
+            metrics.work(Counter::FloydWarshall, out.fw_ops);
+            metrics.work(Counter::Limited, out.limited_ops);
+            absorbing |= out.absorbing;
+            raw_pairs += out.raw_pairs;
+            eplus.extend(out.edges);
+            mats[id as usize] = Some(out.mat);
+            // Children are no longer needed; free their matrices.
+            if let Some((c1, c2)) = tree.node(id).children {
+                mats[c1 as usize] = None;
+                mats[c2 as usize] = None;
+            }
+        }
+        if absorbing {
+            return Err(AbsorbingCycle);
+        }
+    }
+
+    let eplus = dedupe_eplus::<S>(eplus);
+    metrics.work(Counter::Other, eplus.len() as u64);
+    let stats = AugmentStats {
+        eplus_edges: eplus.len(),
+        raw_pairs,
+        d_g: tree.height(),
+        leaf_bound: tree.max_leaf_size().saturating_sub(1),
+    };
+    Ok(Augmentation { eplus, stats })
+}
+
+/// Floyd–Warshall over the leaf's induced subgraph, projected to its
+/// interface.
+fn process_leaf<S: Semiring>(
+    g: &DiGraph<S::W>,
+    vertices: &[u32],
+    iface: &Interface,
+) -> NodeOutput<S> {
+    let (mat, fw_ops, absorbing) = crate::augment::leaf_iface_matrix::<S>(g, vertices, iface);
+    let mut edges = Vec::new();
+    let mut raw_pairs = 0usize;
+    emit_node_edges::<S>(iface, &mat, &mut edges, &mut raw_pairs);
+    NodeOutput {
+        mat,
+        edges,
+        raw_pairs,
+        fw_ops,
+        limited_ops: 0,
+        absorbing,
+    }
+}
+
+/// Read `dist_{G(child)}(u, v)` from a child's interface matrix, `0̄` if
+/// either endpoint is outside the child's interface.
+#[inline]
+fn child_dist<S: Semiring>(ci: &Interface, cmat: &[S::W], u: u32, v: u32) -> S::W {
+    match (ci.local(u), ci.local(v)) {
+        (Some(a), Some(b)) => cmat[a * ci.len() + b],
+        _ => S::zero(),
+    }
+}
+
+/// Steps i–v for an internal node.
+fn process_internal<S: Semiring>(
+    iface: &Interface,
+    ci1: &Interface,
+    m1: &[S::W],
+    ci2: &Interface,
+    m2: &[S::W],
+) -> NodeOutput<S> {
+    let ns = iface.sep_pos.len();
+    let nb = iface.bnd_pos.len();
+    let sep_verts: Vec<u32> = iface.sep_pos.iter().map(|&p| iface.verts[p as usize]).collect();
+    let bnd_verts: Vec<u32> = iface.bnd_pos.iter().map(|&p| iface.verts[p as usize]).collect();
+
+    let both = |u: u32, v: u32| -> S::W {
+        S::combine(
+            child_dist::<S>(ci1, m1, u, v),
+            child_dist::<S>(ci2, m2, u, v),
+        )
+    };
+
+    // Step i–ii: H_S and its closure.
+    let mut hs = SemiMatrix::<S>::identity(ns);
+    for (a, &u) in sep_verts.iter().enumerate() {
+        for (b, &v) in sep_verts.iter().enumerate() {
+            if a != b {
+                hs.relax(a, b, both(u, v));
+            }
+        }
+    }
+    let outcome = hs.floyd_warshall();
+
+    // Step iii: rectangular blocks of H.
+    // R[b][s] = child dist b→s; C[s][b] = child dist s→b;
+    // direct[b][b'] = child dist b→b'.
+    let mut r = vec![S::zero(); nb * ns];
+    let mut c = vec![S::zero(); ns * nb];
+    let mut direct = vec![S::zero(); nb * nb];
+    for (bi, &bv) in bnd_verts.iter().enumerate() {
+        for (si, &sv) in sep_verts.iter().enumerate() {
+            r[bi * ns + si] = both(bv, sv);
+            c[si * nb + bi] = both(sv, bv);
+        }
+        for (bj, &bw) in bnd_verts.iter().enumerate() {
+            direct[bi * nb + bj] = if bi == bj { S::one() } else { both(bv, bw) };
+        }
+    }
+
+    // Step iv: 3-limited distances B → S → S → B as two min-plus
+    // products T = R ⊗ H_S*, OUT = direct ⊕ T ⊗ C. Rows run in parallel
+    // when the product is large (the top tree levels have few nodes but
+    // big matrices, so without this the critical path would be
+    // sequential).
+    use rayon::prelude::*;
+    let mut t = vec![S::zero(); nb * ns];
+    let t_row = |bi: usize, row: &mut [S::W]| {
+        for (s2, cell) in row.iter_mut().enumerate() {
+            let mut acc = S::zero();
+            for s1 in 0..ns {
+                let rv = r[bi * ns + s1];
+                if S::is_zero(rv) {
+                    continue;
+                }
+                acc = S::combine(acc, S::extend(rv, hs.get(s1, s2)));
+            }
+            *cell = acc;
+        }
+    };
+    if nb * ns * ns >= 1 << 16 {
+        t.par_chunks_mut(ns.max(1))
+            .enumerate()
+            .for_each(|(bi, row)| t_row(bi, row));
+    } else {
+        for bi in 0..nb {
+            t_row(bi, &mut t[bi * ns..(bi + 1) * ns]);
+        }
+    }
+    let mut out_bb = direct;
+    let out_row = |bi: usize, row: &mut [S::W]| {
+        for (bj, cell) in row.iter_mut().enumerate() {
+            let mut acc = *cell;
+            for s2 in 0..ns {
+                let tv = t[bi * ns + s2];
+                if S::is_zero(tv) {
+                    continue;
+                }
+                acc = S::combine(acc, S::extend(tv, c[s2 * nb + bj]));
+            }
+            *cell = acc;
+        }
+    };
+    if nb * nb * ns >= 1 << 16 {
+        out_bb
+            .par_chunks_mut(nb.max(1))
+            .enumerate()
+            .for_each(|(bi, row)| out_row(bi, row));
+    } else {
+        for bi in 0..nb {
+            let row = &mut out_bb[bi * nb..(bi + 1) * nb];
+            out_row(bi, row);
+        }
+    }
+    let limited_ops = (nb as u64) * (ns as u64) * (ns as u64)
+        + (nb as u64) * (nb as u64) * (ns as u64);
+
+    // Step v: assemble the interface matrix and emit E_t.
+    let m = iface.len();
+    let mut mat = vec![S::zero(); m * m];
+    for i in 0..m {
+        mat[i * m + i] = S::one();
+    }
+    for (a, &pa) in iface.sep_pos.iter().enumerate() {
+        for (b, &pb) in iface.sep_pos.iter().enumerate() {
+            let cell = &mut mat[pa as usize * m + pb as usize];
+            *cell = S::combine(*cell, hs.get(a, b));
+        }
+    }
+    for (a, &pa) in iface.bnd_pos.iter().enumerate() {
+        for (b, &pb) in iface.bnd_pos.iter().enumerate() {
+            let cell = &mut mat[pa as usize * m + pb as usize];
+            *cell = S::combine(*cell, out_bb[a * nb + b]);
+        }
+    }
+    let mut edges = Vec::new();
+    let mut raw_pairs = 0usize;
+    emit_node_edges::<S>(iface, &mat, &mut edges, &mut raw_pairs);
+    NodeOutput {
+        mat,
+        edges,
+        raw_pairs,
+        fw_ops: outcome.ops,
+        limited_ops,
+        absorbing: outcome.absorbing_cycle,
+    }
+}

@@ -1,0 +1,171 @@
+//! Measurement utilities for verifying the paper's structural claims:
+//! minimum-weight diameter (Theorem 3.1) and growth-exponent fitting for
+//! the Table 1 experiments.
+
+use crate::AbsorbingCycle;
+use rayon::prelude::*;
+use spsep_graph::{DiGraph, Edge, Semiring};
+
+/// Minimum size (hop count) of a minimum-weight path from `source` to
+/// every vertex of the graph formed by `edges` over `0..n`. `0̄` marks
+/// unreachable vertices; entry `usize::MAX` in the result marks them.
+///
+/// Two passes: Bellman–Ford to a fixpoint for exact weights, then BFS
+/// across *tight* edges (`dist(u) ⊗ w ≈ dist(v)`) for hop counts — every
+/// tight path's weight telescopes to the exact distance, and every
+/// hop-minimal optimal path is all-tight.
+pub fn min_hops_at_optimum<S: Semiring>(
+    g: &DiGraph<S::W>,
+    source: usize,
+) -> Result<Vec<usize>, AbsorbingCycle> {
+    let n = g.n();
+    let mut dist = vec![S::zero(); n];
+    dist[source] = S::one();
+    let mut settled = false;
+    for _round in 0..=n {
+        let mut changed = false;
+        for e in g.edges() {
+            let du = dist[e.from as usize];
+            if S::is_zero(du) {
+                continue;
+            }
+            let cand = S::extend(du, e.w);
+            let cur = dist[e.to as usize];
+            let merged = S::combine(cur, cand);
+            if merged != cur {
+                dist[e.to as usize] = merged;
+                changed = true;
+            }
+        }
+        if !changed {
+            settled = true;
+            break;
+        }
+    }
+    if !settled {
+        return Err(AbsorbingCycle);
+    }
+    // BFS over tight edges.
+    let mut hops = vec![usize::MAX; n];
+    hops[source] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source as u32);
+    while let Some(v) = queue.pop_front() {
+        let hv = hops[v as usize];
+        for e in g.out_edges(v as usize) {
+            let u = e.to as usize;
+            if hops[u] != usize::MAX || S::is_zero(dist[u]) {
+                continue;
+            }
+            if S::approx_eq(S::extend(dist[v as usize], e.w), dist[u]) {
+                hops[u] = hv + 1;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    Ok(hops)
+}
+
+/// The minimum-weight diameter (Section 2.2) of the graph formed by
+/// `edges` over `0..n`: the max over all ordered reachable pairs of the
+/// minimum size of an optimal path. Exact but `O(n·m)` — use on
+/// experiment-sized graphs.
+pub fn min_weight_diameter<S: Semiring>(
+    n: usize,
+    edges: &[Edge<S::W>],
+) -> Result<usize, AbsorbingCycle> {
+    let sources: Vec<usize> = (0..n).collect();
+    min_weight_diameter_sampled::<S>(n, edges, &sources)
+}
+
+/// Like [`min_weight_diameter`] but restricted to paths *from* the given
+/// sample of sources — an `O(|sources|·m)` lower bound on the true
+/// diameter, used by the larger-scale experiments.
+pub fn min_weight_diameter_sampled<S: Semiring>(
+    n: usize,
+    edges: &[Edge<S::W>],
+    sources: &[usize],
+) -> Result<usize, AbsorbingCycle> {
+    let g = DiGraph::from_edges(n, edges.to_vec());
+    sources
+        .par_iter()
+        .map(|&s| {
+            min_hops_at_optimum::<S>(&g, s).map(|hops| {
+                hops.into_iter()
+                    .filter(|&h| h != usize::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+        })
+        .try_reduce(|| 0, |a, b| Ok(a.max(b)))
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the measured growth
+/// exponent reported next to Table 1's predicted exponents.
+pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.max(1e-12).ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsep_graph::semiring::Tropical;
+
+    #[test]
+    fn hops_prefer_fewer_edges_among_equal_weight() {
+        // 0→1→2 with weights 1,1 and a direct 0→2 of weight 2:
+        // distance 2 is achieved with 1 hop.
+        let g = DiGraph::from_edges(
+            3,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(0, 2, 2.0),
+            ],
+        );
+        let hops = min_hops_at_optimum::<Tropical>(&g, 0).unwrap();
+        assert_eq!(hops, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let edges: Vec<Edge<f64>> = (0..4).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        assert_eq!(min_weight_diameter::<Tropical>(5, &edges).unwrap(), 4);
+    }
+
+    #[test]
+    fn diameter_shrinks_with_shortcuts() {
+        let mut edges: Vec<Edge<f64>> = (0..4).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        edges.push(Edge::new(0, 4, 4.0)); // exact shortcut
+        assert_eq!(min_weight_diameter::<Tropical>(5, &edges).unwrap(), 3);
+    }
+
+    #[test]
+    fn absorbing_cycle_detected() {
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 0, -2.0)];
+        assert!(min_weight_diameter::<Tropical>(2, &edges).is_err());
+    }
+
+    #[test]
+    fn unreachable_ignored() {
+        let edges = vec![Edge::new(0, 1, 1.0)];
+        assert_eq!(min_weight_diameter::<Tropical>(3, &edges).unwrap(), 1);
+    }
+
+    #[test]
+    fn exponent_fit_recovers_power_law() {
+        let xs: Vec<f64> = vec![100.0, 200.0, 400.0, 800.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.5)).collect();
+        let slope = fit_exponent(&xs, &ys);
+        assert!((slope - 1.5).abs() < 1e-9, "slope {slope}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared augmentation types: the `E⁺` edge set and per-node interface
+//! bookkeeping used by both construction algorithms.
+
+use spsep_graph::{Edge, Semiring};
+use spsep_separator::{tree::sorted_union, SepNode, SepTree};
+
+/// Statistics about one `E⁺` construction.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AugmentStats {
+    /// `|E⁺|` after parallel-edge deduplication.
+    pub eplus_edges: usize,
+    /// Candidate pairs emitted before deduplication
+    /// (`Σ_t |S(t)|² + |B(t)|²`, minus diagonals / unreachable pairs).
+    pub raw_pairs: usize,
+    /// Tree height `d_G`.
+    pub d_g: u32,
+    /// Leaf size bound: `l ≤ max_leaf_size − 1` (Theorem 3.1's `l`).
+    pub leaf_bound: usize,
+}
+
+/// Result of computing `E⁺`: the deduplicated shortcut edges with their
+/// `dist_{G(t)}` weights.
+#[derive(Clone, Debug)]
+pub struct Augmentation<S: Semiring> {
+    /// The shortcut edges (no parallel duplicates; the better weight won).
+    pub eplus: Vec<Edge<S::W>>,
+    /// Construction statistics.
+    pub stats: AugmentStats,
+}
+
+/// The *interface* of a tree node: `I(t) = B(t) ∪ S(t)`, sorted by global
+/// vertex id, with the positions of the boundary and separator members.
+///
+/// Both construction algorithms compute dense matrices over `I(t)`: the
+/// parent of `t` only ever reads `B(t)×B(t)` entries, while `E_t` emits
+/// `S(t)×S(t) ∪ B(t)×B(t)` entries (Section 3.1).
+#[derive(Clone, Debug)]
+pub struct Interface {
+    /// Sorted global ids of `B(t) ∪ S(t)`.
+    pub verts: Vec<u32>,
+    /// Positions (into `verts`) of the separator members.
+    pub sep_pos: Vec<u32>,
+    /// Positions (into `verts`) of the boundary members.
+    pub bnd_pos: Vec<u32>,
+}
+
+impl Interface {
+    /// Interface of `node`. For leaves the boundary is the whole
+    /// interface (separators are empty there).
+    pub fn of(node: &SepNode) -> Interface {
+        let verts = sorted_union(&node.separator, &node.boundary);
+        let pos = |set: &[u32]| {
+            set.iter()
+                .map(|v| verts.binary_search(v).expect("member of union") as u32)
+                .collect()
+        };
+        Interface {
+            sep_pos: pos(&node.separator),
+            bnd_pos: pos(&node.boundary),
+            verts,
+        }
+    }
+
+    /// Number of interface vertices.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// `true` if the interface is empty (e.g. the root of a tree with an
+    /// empty separator and no boundary).
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Local position of global vertex `v`, if present.
+    #[inline]
+    pub fn local(&self, v: u32) -> Option<usize> {
+        self.verts.binary_search(&v).ok()
+    }
+}
+
+/// Deduplicate parallel shortcut edges, keeping the `combine`-better
+/// weight, dropping self-loops and `0̄` (no-path) entries.
+pub fn dedupe_eplus<S: Semiring>(mut edges: Vec<Edge<S::W>>) -> Vec<Edge<S::W>> {
+    edges.retain(|e| e.from != e.to && !S::is_zero(e.w));
+    edges.sort_unstable_by_key(|e| (e.from, e.to));
+    let mut out: Vec<Edge<S::W>> = Vec::with_capacity(edges.len());
+    for e in edges {
+        match out.last_mut() {
+            Some(last) if last.from == e.from && last.to == e.to => {
+                last.w = S::combine(last.w, e.w);
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// Emit the `E_t` entries of one node from its interface matrix `mat`
+/// (row-major over `iface.verts`): all `S×S` and `B×B` pairs.
+pub fn emit_node_edges<S: Semiring>(
+    iface: &Interface,
+    mat: &[S::W],
+    out: &mut Vec<Edge<S::W>>,
+    raw_pairs: &mut usize,
+) {
+    let n = iface.len();
+    let mut emit_set = |pos: &[u32]| {
+        for &a in pos {
+            for &b in pos {
+                if a == b {
+                    continue;
+                }
+                *raw_pairs += 1;
+                let w = mat[a as usize * n + b as usize];
+                if !S::is_zero(w) {
+                    out.push(Edge {
+                        from: iface.verts[a as usize],
+                        to: iface.verts[b as usize],
+                        w,
+                    });
+                }
+            }
+        }
+    };
+    emit_set(&iface.sep_pos);
+    emit_set(&iface.bnd_pos);
+}
+
+/// Precompute, for every tree node, its [`Interface`].
+pub fn interfaces(tree: &SepTree) -> Vec<Interface> {
+    use rayon::prelude::*;
+    tree.nodes().par_iter().map(Interface::of).collect()
+}
+
+/// Exact `dist_{G(t)}` over a **leaf**'s interface: Floyd–Warshall on the
+/// induced subgraph `G(t)` (leaves have O(1) vertices), projected to the
+/// interface positions. Returns `(matrix, fw_ops, absorbing_cycle)`.
+pub fn leaf_iface_matrix<S: Semiring>(
+    g: &spsep_graph::DiGraph<S::W>,
+    vertices: &[u32],
+    iface: &Interface,
+) -> (Vec<S::W>, u64, bool) {
+    let k = vertices.len();
+    let mut full = spsep_graph::dense::SemiMatrix::<S>::identity(k);
+    for (li, &v) in vertices.iter().enumerate() {
+        for e in g.out_edges(v as usize) {
+            if let Ok(lj) = vertices.binary_search(&e.to) {
+                full.relax(li, lj, e.w);
+            }
+        }
+    }
+    let outcome = full.floyd_warshall();
+    let m = iface.len();
+    let mut mat = vec![S::zero(); m * m];
+    for (a, &va) in iface.verts.iter().enumerate() {
+        let ia = vertices.binary_search(&va).expect("iface ⊆ V(leaf)");
+        for (b, &vb) in iface.verts.iter().enumerate() {
+            let ib = vertices.binary_search(&vb).expect("iface ⊆ V(leaf)");
+            mat[a * m + b] = full.get(ia, ib);
+        }
+    }
+    (mat, outcome.ops, outcome.absorbing_cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsep_graph::semiring::Tropical;
+
+    #[test]
+    fn dedupe_keeps_best_and_drops_loops() {
+        let edges = vec![
+            Edge::new(0, 1, 3.0),
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 1, 0.0),
+            Edge::new(1, 2, f64::INFINITY),
+            Edge::new(0, 1, 2.0),
+            Edge::new(2, 0, 5.0),
+        ];
+        let out = dedupe_eplus::<Tropical>(edges);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].from, 0);
+        assert_eq!(out[0].w, 1.0);
+        assert_eq!(out[1].from, 2);
+    }
+
+    #[test]
+    fn interface_positions() {
+        let node = SepNode {
+            vertices: vec![0, 1, 2, 3, 4, 5],
+            separator: vec![2, 4],
+            boundary: vec![0, 4],
+            children: None,
+            parent: None,
+            level: 0,
+        };
+        let iface = Interface::of(&node);
+        assert_eq!(iface.verts, vec![0, 2, 4]);
+        assert_eq!(iface.sep_pos, vec![1, 2]);
+        assert_eq!(iface.bnd_pos, vec![0, 2]);
+        assert_eq!(iface.local(4), Some(2));
+        assert_eq!(iface.local(3), None);
+    }
+
+    #[test]
+    fn emit_covers_s_and_b_pairs() {
+        let node = SepNode {
+            vertices: vec![0, 1, 2],
+            separator: vec![1, 2],
+            boundary: vec![0],
+            children: None,
+            parent: None,
+            level: 0,
+        };
+        let iface = Interface::of(&node);
+        // iface.verts = [0,1,2]; matrix rows over these.
+        let inf = f64::INFINITY;
+        #[rustfmt::skip]
+        let mat = vec![
+            0.0, 1.0, 2.0,
+            3.0, 0.0, 4.0,
+            inf, 5.0, 0.0,
+        ];
+        let mut out = Vec::new();
+        let mut raw = 0usize;
+        emit_node_edges::<Tropical>(&iface, &mat, &mut out, &mut raw);
+        // S×S pairs: (1,2) w=4, (2,1) w=5. B×B: only vertex 0 → none.
+        assert_eq!(raw, 2);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|e| e.from == 1 && e.to == 2 && e.w == 4.0));
+        assert!(out.iter().any(|e| e.from == 2 && e.to == 1 && e.w == 5.0));
+    }
+}

@@ -1,0 +1,172 @@
+//! Persistence for computed augmentations.
+//!
+//! `E⁺` is a plain weighted edge set, so a preprocessed instance can be
+//! stored next to its decomposition tree (see `spsep_separator::io`) and
+//! reloaded without re-running Algorithm 4.1/4.3 — the "preprocess once,
+//! query forever" deployment mode.
+//!
+//! ```text
+//! ep <n> <num_edges> <d_g> <leaf_bound> <raw_pairs>
+//! e <from> <to> <weight>        (0-based, num_edges lines)
+//! ```
+//!
+//! Weights are written with full `f64` round-trip precision.
+
+use crate::augment::{AugmentStats, Augmentation};
+use spsep_graph::semiring::Tropical;
+use spsep_graph::Edge;
+use std::io::{BufRead, Write};
+
+/// Error from [`read_augmentation`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem.
+    Format(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Serialize a tropical augmentation (`n` is the graph's vertex count,
+/// needed for validation at load time).
+pub fn write_augmentation<W: Write>(
+    n: usize,
+    aug: &Augmentation<Tropical>,
+    out: &mut W,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut buf = String::new();
+    writeln!(
+        buf,
+        "ep {} {} {} {} {}",
+        n,
+        aug.eplus.len(),
+        aug.stats.d_g,
+        aug.stats.leaf_bound,
+        aug.stats.raw_pairs
+    )
+    .unwrap();
+    for e in &aug.eplus {
+        // `{:?}` prints f64 with round-trip precision.
+        writeln!(buf, "e {} {} {:?}", e.from, e.to, e.w).unwrap();
+    }
+    out.write_all(buf.as_bytes())
+}
+
+/// Parse an augmentation previously written by [`write_augmentation`];
+/// returns `(n, augmentation)`.
+pub fn read_augmentation<R: BufRead>(input: R) -> Result<(usize, Augmentation<Tropical>), ParseError> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseError::Format("empty input".into()))??;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("ep") {
+        return Err(ParseError::Format("missing 'ep' header".into()));
+    }
+    let n: usize = field(parts.next(), "n")?;
+    let num_edges: usize = field(parts.next(), "edge count")?;
+    let d_g: u32 = field(parts.next(), "d_g")?;
+    let leaf_bound: usize = field(parts.next(), "leaf bound")?;
+    let raw_pairs: usize = field(parts.next(), "raw pairs")?;
+    let mut eplus: Vec<Edge<f64>> = Vec::with_capacity(num_edges);
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("e") {
+            return Err(ParseError::Format("expected 'e' record".into()));
+        }
+        let from: usize = field(parts.next(), "from")?;
+        let to: usize = field(parts.next(), "to")?;
+        let w: f64 = field(parts.next(), "weight")?;
+        if from >= n || to >= n {
+            return Err(ParseError::Format(format!(
+                "edge {from}→{to} out of range 0..{n}"
+            )));
+        }
+        eplus.push(Edge::new(from, to, w));
+    }
+    if eplus.len() != num_edges {
+        return Err(ParseError::Format(format!(
+            "declared {num_edges} edges, found {}",
+            eplus.len()
+        )));
+    }
+    let stats = AugmentStats {
+        eplus_edges: eplus.len(),
+        raw_pairs,
+        d_g,
+        leaf_bound,
+    };
+    Ok((n, Augmentation { eplus, stats }))
+}
+
+fn field<T: std::str::FromStr>(f: Option<&str>, what: &str) -> Result<T, ParseError> {
+    f.ok_or_else(|| ParseError::Format(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError::Format(format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{alg41, Preprocessed};
+    use rand::SeedableRng;
+    use spsep_pram::Metrics;
+    use spsep_separator::{builders, RecursionLimits};
+
+    #[test]
+    fn roundtrip_and_requery() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+        let (g, _) = spsep_graph::generators::grid(&[9, 8], &mut rng);
+        let tree = builders::grid_tree(&[9, 8], RecursionLimits::default());
+        let metrics = Metrics::new();
+        let aug = alg41::augment_leaves_up::<Tropical>(&g, &tree, &metrics).unwrap();
+
+        let mut buf = Vec::new();
+        write_augmentation(g.n(), &aug, &mut buf).unwrap();
+        let (n, back) = read_augmentation(buf.as_slice()).unwrap();
+        assert_eq!(n, g.n());
+        assert_eq!(back.eplus.len(), aug.eplus.len());
+        assert_eq!(back.stats.d_g, aug.stats.d_g);
+        for (a, b) in aug.eplus.iter().zip(&back.eplus) {
+            assert_eq!((a.from, a.to), (b.from, b.to));
+            assert_eq!(a.w, b.w, "weights must round-trip bit-exactly");
+        }
+        // The reloaded augmentation answers queries identically.
+        let pre1 = Preprocessed::compile(&g, &tree, aug);
+        let pre2 = Preprocessed::compile(&g, &tree, back);
+        assert_eq!(pre1.distances_seq(0).0, pre2.distances_seq(0).0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(read_augmentation("".as_bytes()).is_err());
+        assert!(read_augmentation("xx 1 0 0 0 0\n".as_bytes()).is_err());
+        assert!(read_augmentation("ep 2 1 0 0 0\n".as_bytes()).is_err()); // count
+        assert!(read_augmentation("ep 2 1 0 0 0\ne 0 9 1.0\n".as_bytes()).is_err()); // range
+        assert!(read_augmentation("ep 2 1 0 0 0\nq 0 1 1.0\n".as_bytes()).is_err()); // record
+        let ok = read_augmentation("ep 2 1 1 1 4\ne 0 1 2.5\n".as_bytes()).unwrap();
+        assert_eq!(ok.1.eplus[0].w, 2.5);
+    }
+}

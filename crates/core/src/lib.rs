@@ -1,0 +1,121 @@
+//! The paper's contribution: parallel shortest paths in digraphs with a
+//! separator decomposition (Cohen, SPAA'93 / J. Algorithms 1996).
+//!
+//! # Pipeline
+//!
+//! 1. Build (or receive) a separator decomposition tree
+//!    ([`spsep_separator::SepTree`]) of the undirected skeleton.
+//! 2. **Preprocess** ([`preprocess`]): compute the augmentation set `E⁺`
+//!    (Section 3) with either [`Algorithm::LeavesUp`] (Algorithm 4.1) or
+//!    [`Algorithm::PathDoubling`] (Algorithm 4.3), then compile the
+//!    Section 3.2 phase schedule. By Theorem 3.1, distances in
+//!    `G⁺ = (V, E ∪ E⁺)` equal distances in `G` and every distance is
+//!    realized by a path of `≤ 4·d_G + 2l + 1` edges whose level sequence
+//!    is bitonic.
+//! 3. **Query** ([`Preprocessed::distances`] /
+//!    [`Preprocessed::distances_multi`]): scheduled Bellman–Ford, scanning
+//!    each edge class only in the phases the bitonic structure needs —
+//!    `O(l·|E| + |E ∪ E⁺|)` work per source instead of
+//!    `O(|E ∪ E⁺|·d_G)`.
+//! 4. Optionally recover shortest-path **trees** over the original edges
+//!    ([`query::shortest_path_tree`]) — paper comment (ii).
+//!
+//! Everything is generic over an idempotent [`spsep_graph::Semiring`]
+//! (paper comment (iii)); negative cycles (absorbing cycles) are detected
+//! during preprocessing (paper comment (i)) and reported as
+//! [`AbsorbingCycle`].
+//!
+//! The [`reach`] module specializes reachability with word-parallel
+//! boolean matrices, the practical stand-in for the paper's
+//! fast-matrix-multiplication bounds.
+
+pub mod alg41;
+pub mod alg43;
+pub mod alg44;
+pub mod analysis;
+pub mod augment;
+pub mod explain;
+pub mod io;
+pub mod query;
+pub mod reach;
+pub mod schedule;
+pub mod shortcuts;
+
+pub use augment::{AugmentStats, Augmentation};
+pub use query::{Preprocessed, QueryStats};
+
+use spsep_graph::{DiGraph, Semiring};
+use spsep_pram::Metrics;
+use spsep_separator::SepTree;
+
+/// The input contains an absorbing cycle (a negative cycle under the
+/// tropical semiring): the requested distances are undefined.
+///
+/// Detection happens during preprocessing, on the diagonal of the dense
+/// per-node computations — paper comment (i). To obtain an explicit
+/// witness cycle, run `spsep_baselines::find_negative_cycle` on the same
+/// graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AbsorbingCycle;
+
+impl std::fmt::Display for AbsorbingCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains an absorbing (negative) cycle")
+    }
+}
+
+impl std::error::Error for AbsorbingCycle {}
+
+/// Which `E⁺` construction to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Algorithm 4.1: leaves-up, one tree level per phase, Floyd–Warshall
+    /// per node. `O(d_G log² n)` time, the lower-work option.
+    #[default]
+    LeavesUp,
+    /// Algorithm 4.3: all nodes path-double simultaneously for
+    /// `2⌈log n⌉ + 2 d_G` rounds. `O(d_G log n)` time, a log factor more
+    /// work.
+    PathDoubling,
+    /// Remark 4.4: path doubling over a **shared** edge/pairing table —
+    /// each co-residence triple is paired once per round instead of once
+    /// per containing node. Shortcut weights may improve on the other
+    /// variants (see [`alg44`]).
+    SharedDoubling,
+}
+
+/// Full preprocessing: compute `E⁺` with `algo`, then compile the query
+/// schedule. Work and depth are charged to `metrics`.
+///
+/// ```
+/// use spsep_core::{preprocess, Algorithm};
+/// use spsep_graph::semiring::Tropical;
+/// use spsep_pram::Metrics;
+/// use spsep_separator::{builders, RecursionLimits};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (g, _) = spsep_graph::generators::grid(&[8, 8], &mut rng);
+/// let tree = builders::grid_tree(&[8, 8], RecursionLimits::default());
+///
+/// let metrics = Metrics::new();
+/// let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics)?;
+/// let (dist, stats) = pre.distances_seq(0);
+/// assert_eq!(dist[0], 0.0);
+/// assert!(dist[63].is_finite());
+/// assert!(stats.relaxations > 0);
+/// # Ok::<(), spsep_core::AbsorbingCycle>(())
+/// ```
+pub fn preprocess<S: Semiring>(
+    g: &DiGraph<S::W>,
+    tree: &SepTree,
+    algo: Algorithm,
+    metrics: &Metrics,
+) -> Result<Preprocessed<S>, AbsorbingCycle> {
+    let augmentation = match algo {
+        Algorithm::LeavesUp => alg41::augment_leaves_up::<S>(g, tree, metrics)?,
+        Algorithm::PathDoubling => alg43::augment_path_doubling::<S>(g, tree, metrics)?,
+        Algorithm::SharedDoubling => alg44::augment_shared_doubling::<S>(g, tree, metrics)?,
+    };
+    Ok(Preprocessed::compile(g, tree, augmentation))
+}

@@ -1,0 +1,458 @@
+//! The Section 3.2 phase schedule for Bellman–Ford on `G⁺`.
+//!
+//! Theorem 3.1's proof shows every distance is realized in `G⁺` by a path
+//! of the form
+//!
+//! ```text
+//! ≤ l original edges │ bitonic-level shortcut section │ ≤ l original edges
+//! ```
+//!
+//! where the levels of the middle section first do not increase and then
+//! do not decrease, with at most two consecutive equal levels. It
+//! therefore suffices to run `2l + 4·d_G + 1` Bellman–Ford phases that
+//! each scan only the edge class the structure can use next:
+//!
+//! * `l` phases over all original edges `E` (entry segment);
+//! * descending phases `i = 1 … 2d_G+1`: odd `i` scans *same-level* edges
+//!   at level `d_G − (i−1)/2`, even `i` scans *down* edges leaving level
+//!   `d_G − i/2 + 1`;
+//! * ascending phases `i = 1 … 2d_G`: odd `i` scans *up* edges leaving
+//!   level `(i−1)/2`, even `i` scans same-level edges at level `i/2`;
+//! * `l` phases over `E` again (exit segment).
+//!
+//! (The published text's even-descending formula is OCR-garbled; we use
+//! the mirror image of the ascending rule — see DESIGN.md §5 — and tests
+//! verify equivalence with exhaustive Bellman–Ford on `G⁺`.)
+//!
+//! Each phase is organized for exclusive-read/exclusive-write execution:
+//! a bucket stores its arcs grouped by target, plus the distinct source
+//! list; a phase gathers source distances into a scratch vector and then
+//! reduces each target group independently. Work per source is
+//! `O(l·|E| + |E ∪ E⁺|)` — the bound of Section 3.2.
+
+use spsep_graph::{Edge, Semiring};
+use spsep_pram::{Counter, Metrics};
+
+/// One scannable edge class, grouped by target vertex.
+#[derive(Clone, Debug)]
+pub struct Bucket<W> {
+    /// Distinct source vertices of this bucket's arcs.
+    sources: Vec<u32>,
+    /// `(target, arc_start, arc_end)` — arcs grouped per target.
+    groups: Vec<(u32, u32, u32)>,
+    /// `(source_slot, edge_id, weight)`; `source_slot` indexes `sources`,
+    /// `edge_id` indexes the augmented edge list (for parent tracking).
+    arcs: Vec<(u32, u32, W)>,
+}
+
+impl<W: Copy> Bucket<W> {
+    /// Build a bucket from `(from, to, edge_id, w)` arcs.
+    fn build(mut raw: Vec<(u32, u32, u32, W)>) -> Bucket<W> {
+        raw.sort_unstable_by_key(|&(f, t, _, _)| (t, f));
+        let mut sources: Vec<u32> = raw.iter().map(|&(f, _, _, _)| f).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let slot_of = |v: u32| sources.binary_search(&v).expect("source present") as u32;
+        let mut groups = Vec::new();
+        let mut arcs = Vec::with_capacity(raw.len());
+        let mut i = 0;
+        while i < raw.len() {
+            let target = raw[i].1;
+            let start = arcs.len() as u32;
+            while i < raw.len() && raw[i].1 == target {
+                arcs.push((slot_of(raw[i].0), raw[i].2, raw[i].3));
+                i += 1;
+            }
+            groups.push((target, start, arcs.len() as u32));
+        }
+        Bucket {
+            sources,
+            groups,
+            arcs,
+        }
+    }
+
+    /// Number of arcs in this bucket.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// `true` if the bucket has no arcs.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+}
+
+/// The compiled phase schedule over `G⁺`.
+#[derive(Clone, Debug)]
+pub struct Schedule<S: Semiring> {
+    n: usize,
+    buckets: Vec<Bucket<S::W>>,
+    /// Bucket index per phase, in execution order.
+    sequence: Vec<u32>,
+    max_sources: usize,
+    total_phases: usize,
+}
+
+/// Classify an augmented edge by the level relation of its endpoints.
+fn classify(l1: u32, l2: u32, d_g: u32) -> Option<usize> {
+    // Bucket layout: for λ in 0..=d_g — Same(λ)=3λ, Down(λ)=3λ+1, Up(λ)=3λ+2.
+    let undef = u32::MAX;
+    if l1 == undef || l2 == undef {
+        return None; // only reachable through the entry/exit E phases
+    }
+    debug_assert!(l1 <= d_g && l2 <= d_g);
+    let slot = match l1.cmp(&l2) {
+        std::cmp::Ordering::Equal => 3 * l1,
+        std::cmp::Ordering::Greater => 3 * l1 + 1, // down edge, leaves level l1
+        std::cmp::Ordering::Less => 3 * l1 + 2,    // up edge, leaves level l1
+    };
+    Some(slot as usize)
+}
+
+impl<S: Semiring> Schedule<S> {
+    /// Compile the schedule from the original edges, the shortcut set, the
+    /// per-vertex levels, the tree height `d_g`, and the leaf bound `l`.
+    pub fn compile(
+        n: usize,
+        base: &[Edge<S::W>],
+        eplus: &[Edge<S::W>],
+        levels: &[u32],
+        d_g: u32,
+        l: usize,
+    ) -> Schedule<S> {
+        // Raw arcs per level bucket (3 per level) + the E bucket at the end.
+        // Edge ids: base edges are 0..|E|, shortcuts follow.
+        let level_buckets = 3 * (d_g as usize + 1);
+        type RawArcs<W> = Vec<Vec<(u32, u32, u32, W)>>;
+        let mut raw: RawArcs<S::W> = vec![Vec::new(); level_buckets + 1];
+        let e_bucket = level_buckets;
+        for (id, e) in base.iter().enumerate() {
+            raw[e_bucket].push((e.from, e.to, id as u32, e.w));
+            if let Some(b) = classify(levels[e.from as usize], levels[e.to as usize], d_g) {
+                raw[b].push((e.from, e.to, id as u32, e.w));
+            }
+        }
+        for (i, e) in eplus.iter().enumerate() {
+            let id = (base.len() + i) as u32;
+            let b = classify(levels[e.from as usize], levels[e.to as usize], d_g)
+                .expect("shortcut endpoints always have defined levels");
+            raw[b].push((e.from, e.to, id, e.w));
+        }
+        let buckets: Vec<Bucket<S::W>> = raw.into_iter().map(Bucket::build).collect();
+
+        // Phase sequence.
+        let mut sequence: Vec<u32> = Vec::new();
+        let push = |b: usize, seq: &mut Vec<u32>| {
+            if !buckets[b].is_empty() {
+                seq.push(b as u32);
+            }
+        };
+        for _ in 0..l {
+            push(e_bucket, &mut sequence);
+        }
+        // Descending: i = 1..=2d_g+1.
+        for i in 1..=(2 * d_g as usize + 1) {
+            if i % 2 == 1 {
+                let lam = d_g as usize - (i - 1) / 2;
+                push(3 * lam, &mut sequence); // Same(λ)
+            } else {
+                let lam = d_g as usize - i / 2 + 1;
+                push(3 * lam + 1, &mut sequence); // Down(λ)
+            }
+        }
+        // Ascending: i = 1..=2d_g.
+        for i in 1..=(2 * d_g as usize) {
+            if i % 2 == 1 {
+                let lam = (i - 1) / 2;
+                push(3 * lam + 2, &mut sequence); // Up(λ)
+            } else {
+                let lam = i / 2;
+                push(3 * lam, &mut sequence); // Same(λ)
+            }
+        }
+        for _ in 0..l {
+            push(e_bucket, &mut sequence);
+        }
+        let max_sources = buckets.iter().map(|b| b.sources.len()).max().unwrap_or(0);
+        let total_phases = 2 * l + 4 * d_g as usize + 1;
+        Schedule {
+            n,
+            buckets,
+            sequence,
+            max_sources,
+            total_phases,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nominal phase count `2l + 4·d_G + 1` (empty phases are elided from
+    /// the compiled sequence).
+    pub fn total_phases(&self) -> usize {
+        self.total_phases
+    }
+
+    /// Arcs scanned over one full schedule execution (the per-source work
+    /// bound, up to the `O(1)` gather overhead).
+    pub fn arcs_per_run(&self) -> u64 {
+        self.sequence
+            .iter()
+            .map(|&b| self.buckets[b as usize].len() as u64)
+            .sum()
+    }
+
+    /// Run the schedule from `source`, sequentially. Returns the distance
+    /// vector and the number of relaxations performed.
+    pub fn run_seq(&self, source: usize) -> (Vec<S::W>, u64) {
+        let mut init = vec![S::zero(); self.n];
+        init[source] = S::one();
+        self.run_seq_init(init)
+    }
+
+    /// Run the schedule from an arbitrary initial label vector
+    /// (multi-source shortest paths: the result at `v` is the
+    /// `combine` over all `u` of `init[u] ⊗ dist(u, v)`; min-plus
+    /// linearity makes the single-source phase argument apply per
+    /// source).
+    pub fn run_seq_init(&self, mut dist: Vec<S::W>) -> (Vec<S::W>, u64) {
+        assert_eq!(dist.len(), self.n);
+        let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
+        let mut relaxations = 0u64;
+        for &bi in &self.sequence {
+            let bucket = &self.buckets[bi as usize];
+            for (slot, &src) in bucket.sources.iter().enumerate() {
+                scratch[slot] = dist[src as usize];
+            }
+            for &(target, a0, a1) in &bucket.groups {
+                let mut best = dist[target as usize];
+                for &(slot, _id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
+                    let sv = scratch[slot as usize];
+                    if S::is_zero(sv) {
+                        continue;
+                    }
+                    best = S::combine(best, S::extend(sv, w));
+                }
+                dist[target as usize] = best;
+            }
+            relaxations += bucket.len() as u64;
+        }
+        (dist, relaxations)
+    }
+
+    /// Run the schedule from `source` tracking, for every vertex, the
+    /// **augmented edge** (id into `E` followed by `E⁺`) that last
+    /// improved it — parent pointers over `G⁺`, from which
+    /// [`crate::explain`] reconstructs the Theorem 3.1 path shape.
+    pub fn run_seq_parents(&self, source: usize) -> (Vec<S::W>, Vec<u32>) {
+        let mut dist = vec![S::zero(); self.n];
+        let mut parent = vec![u32::MAX; self.n];
+        dist[source] = S::one();
+        let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
+        for &bi in &self.sequence {
+            let bucket = &self.buckets[bi as usize];
+            for (slot, &src) in bucket.sources.iter().enumerate() {
+                scratch[slot] = dist[src as usize];
+            }
+            for &(target, a0, a1) in &bucket.groups {
+                let mut best = dist[target as usize];
+                let mut best_edge = u32::MAX;
+                for &(slot, id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
+                    let sv = scratch[slot as usize];
+                    if S::is_zero(sv) {
+                        continue;
+                    }
+                    let cand = S::extend(sv, w);
+                    let merged = S::combine(best, cand);
+                    if merged != best {
+                        best = merged;
+                        best_edge = id;
+                    }
+                }
+                if best_edge != u32::MAX {
+                    dist[target as usize] = best;
+                    parent[target as usize] = best_edge;
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// Diagnostic run: like [`Schedule::run_seq_parents`] but also
+    /// returning, per vertex, the index into the compiled sequence of the
+    /// phase where it last improved (`u32::MAX` if never), and the bucket
+    /// id of that phase.
+    pub fn run_seq_trace(&self, source: usize) -> (Vec<S::W>, Vec<u32>, Vec<u32>, Vec<u32>) {
+        let mut dist = vec![S::zero(); self.n];
+        let mut parent = vec![u32::MAX; self.n];
+        let mut phase_of = vec![u32::MAX; self.n];
+        let mut bucket_of = vec![u32::MAX; self.n];
+        dist[source] = S::one();
+        let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
+        for (phase_idx, &bi) in self.sequence.iter().enumerate() {
+            let bucket = &self.buckets[bi as usize];
+            for (slot, &src) in bucket.sources.iter().enumerate() {
+                scratch[slot] = dist[src as usize];
+            }
+            for &(target, a0, a1) in &bucket.groups {
+                let mut best = dist[target as usize];
+                let mut best_edge = u32::MAX;
+                for &(slot, id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
+                    let sv = scratch[slot as usize];
+                    if S::is_zero(sv) {
+                        continue;
+                    }
+                    let cand = S::extend(sv, w);
+                    let merged = S::combine(best, cand);
+                    if merged != best {
+                        best = merged;
+                        best_edge = id;
+                    }
+                }
+                if best_edge != u32::MAX {
+                    dist[target as usize] = best;
+                    parent[target as usize] = best_edge;
+                    phase_of[target as usize] = phase_idx as u32;
+                    bucket_of[target as usize] = bi;
+                }
+            }
+        }
+        (dist, parent, phase_of, bucket_of)
+    }
+
+    /// Run the schedule from `source` with phase-parallel execution
+    /// (rayon), charging work and depth to `metrics`.
+    pub fn run_parallel(&self, source: usize, metrics: &Metrics) -> Vec<S::W> {
+        use rayon::prelude::*;
+        let mut dist = vec![S::zero(); self.n];
+        dist[source] = S::one();
+        let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
+        for &bi in &self.sequence {
+            let bucket = &self.buckets[bi as usize];
+            metrics.phase(bucket.groups.len().max(1));
+            metrics.work(Counter::Relaxation, bucket.len() as u64);
+            // Gather (exclusive-read: each slot reads one dist entry).
+            scratch[..bucket.sources.len()]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(slot, s)| {
+                    *s = dist[bucket.sources[slot] as usize];
+                });
+            // Reduce per target (exclusive-write: targets are distinct).
+            let updates: Vec<(u32, S::W)> = bucket
+                .groups
+                .par_iter()
+                .filter_map(|&(target, a0, a1)| {
+                    let mut best = dist[target as usize];
+                    let mut any = false;
+                    for &(slot, _id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
+                        let sv = scratch[slot as usize];
+                        if S::is_zero(sv) {
+                            continue;
+                        }
+                        let cand = S::extend(sv, w);
+                        let merged = S::combine(best, cand);
+                        if merged != best {
+                            best = merged;
+                            any = true;
+                        }
+                    }
+                    any.then_some((target, best))
+                })
+                .collect();
+            for (target, best) in updates {
+                dist[target as usize] = best;
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsep_graph::semiring::Tropical;
+
+    #[test]
+    fn bucket_groups_by_target() {
+        let b = Bucket::build(vec![
+            (0u32, 2u32, 0u32, 1.0f64),
+            (1, 2, 1, 2.0),
+            (0, 3, 2, 4.0),
+            (1, 3, 3, 0.5),
+        ]);
+        assert_eq!(b.sources, vec![0, 1]);
+        assert_eq!(b.groups.len(), 2);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn classify_levels() {
+        let d_g = 3;
+        assert_eq!(classify(2, 2, d_g), Some(6));
+        assert_eq!(classify(2, 1, d_g), Some(7));
+        assert_eq!(classify(2, 3, d_g), Some(8));
+        assert_eq!(classify(u32::MAX, 1, d_g), None);
+        assert_eq!(classify(0, u32::MAX, d_g), None);
+    }
+
+    #[test]
+    fn trivial_schedule_runs() {
+        // Path 0→1→2 with all vertices level 0 (degenerate tree of height 0
+        // can't arise, but the schedule must still behave).
+        let base = vec![
+            Edge::new(0usize, 1usize, 1.0f64),
+            Edge::new(1, 2, 2.0),
+        ];
+        let levels = vec![0u32, 0, 0];
+        let sched = Schedule::<Tropical>::compile(3, &base, &[], &levels, 0, 2);
+        let (dist, relax) = sched.run_seq(0);
+        assert_eq!(dist, vec![0.0, 1.0, 3.0]);
+        assert!(relax > 0);
+    }
+
+    #[test]
+    fn parents_and_trace_agree_with_plain_run() {
+        let base = vec![
+            Edge::new(0usize, 1usize, 1.0f64),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 10.0),
+        ];
+        let levels = vec![0u32, 0, 0];
+        let sched = Schedule::<Tropical>::compile(3, &base, &[], &levels, 0, 3);
+        let (d0, _) = sched.run_seq(0);
+        let (d1, parents) = sched.run_seq_parents(0);
+        let (d2, p2, phase_of, bucket_of) = sched.run_seq_trace(0);
+        assert_eq!(d0, d1);
+        assert_eq!(d1, d2);
+        assert_eq!(parents, p2);
+        // Vertex 2's best parent is edge id 1 (1→2, total 3 < 10).
+        assert_eq!(parents[2], 1);
+        assert_eq!(parents[1], 0);
+        assert_eq!(parents[0], u32::MAX);
+        // Phases recorded and within the sequence.
+        assert!(phase_of[2] != u32::MAX);
+        assert!(phase_of[1] <= phase_of[2]);
+        assert!(bucket_of[2] != u32::MAX);
+    }
+
+    #[test]
+    fn schedule_sequence_order_is_bitonic() {
+        // With d_g = 1 and l = 1 the nominal sequence is:
+        // E | Same(1) Down(1) Same(0) | Up(0) Same(1) | E.
+        let base = vec![Edge::new(0usize, 1usize, 1.0f64)];
+        let eplus = vec![
+            Edge::new(0usize, 1usize, 5.0f64), // levels 1→0: Down(1)
+            Edge::new(1, 0, 5.0),              // 0→1: Up(0)
+        ];
+        let levels = vec![1u32, 0];
+        let sched = Schedule::<Tropical>::compile(2, &base, &eplus, &levels, 1, 1);
+        assert_eq!(sched.total_phases(), 2 + 4 + 1);
+        // Compiled sequence drops empty buckets; check relative order:
+        // E(=6), Down(1)(=4), Up(0)(=2), E(=6).
+        assert_eq!(sched.sequence, vec![6, 4, 2, 6]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests: random graphs, random weights (including
+//! negative via potential skew), random decompositions — the pipeline
+//! must always agree with the reference algorithms and respect the
+//! paper's invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_baselines::{bellman_ford, bellman_ford_semiring};
+use spsep_core::{analysis, preprocess, Algorithm};
+use spsep_graph::semiring::{Bottleneck, Tropical};
+use spsep_graph::{generators, DiGraph, Edge};
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits};
+
+/// Random sparse digraph + the BFS-bisection decomposition.
+fn arb_graph() -> impl Strategy<Value = (DiGraph<f64>, u64)> {
+    (5usize..60, 1usize..4, any::<u64>()).prop_map(|(n, density, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm(n, n * density, &mut rng);
+        (g, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Distances from a random source match Bellman–Ford, on random
+    /// digraphs with negative-but-safe weights, via both algorithms.
+    #[test]
+    fn distances_match_reference((g, seed) in arb_graph(), src_sel in 0usize..1000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+        let g = generators::skew_by_potentials(&g, 2.0, &mut rng);
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        prop_assert!(tree.validate(&adj).is_ok());
+        let source = src_sel % g.n();
+        let truth = bellman_ford(&g, source).expect("no negative cycles by construction");
+        for algo in [
+            Algorithm::LeavesUp,
+            Algorithm::PathDoubling,
+            Algorithm::SharedDoubling,
+        ] {
+            let metrics = Metrics::new();
+            let pre = preprocess::<Tropical>(&g, &tree, algo, &metrics).unwrap();
+            let (dist, _) = pre.distances_seq(source);
+            for v in 0..g.n() {
+                if truth.dist[v].is_infinite() {
+                    prop_assert!(dist[v].is_infinite(), "{algo:?} v={v}");
+                } else {
+                    prop_assert!(
+                        (dist[v] - truth.dist[v]).abs() < 1e-6 * (1.0 + truth.dist[v].abs()),
+                        "{algo:?} v={v}: {} vs {}", dist[v], truth.dist[v]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 3.1(ii): the augmented diameter respects `4 d_G + 2l + 1`.
+    #[test]
+    fn diameter_bound_holds((g, _) in arb_graph()) {
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        let metrics = Metrics::new();
+        let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+        let stats = pre.stats();
+        let bound = 4 * stats.d_g as usize + 2 * stats.leaf_bound + 1;
+        let diam = analysis::min_weight_diameter::<Tropical>(g.n(), pre.augmented_edges()).unwrap();
+        prop_assert!(diam <= bound, "diam {diam} > {bound}");
+    }
+
+    /// Shortcut weights never undercut true distances, and for pairs
+    /// inside a common node they equal them (exactness on emitted pairs).
+    #[test]
+    fn eplus_soundness((g, _) in arb_graph()) {
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        let metrics = Metrics::new();
+        let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+        // Reference all-pairs from each shortcut source (cache rows).
+        let mut rows: std::collections::HashMap<u32, Vec<f64>> = std::collections::HashMap::new();
+        for e in pre.eplus() {
+            let row = rows.entry(e.from).or_insert_with(|| {
+                bellman_ford(&g, e.from as usize).unwrap().dist
+            });
+            prop_assert!(e.w >= row[e.to as usize] - 1e-9,
+                "({}, {}): {} < {}", e.from, e.to, e.w, row[e.to as usize]);
+        }
+    }
+
+    /// The bottleneck algebra agrees with its reference on random graphs.
+    #[test]
+    fn bottleneck_agrees((g, _) in arb_graph(), src_sel in 0usize..1000) {
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        let metrics = Metrics::new();
+        let pre = preprocess::<Bottleneck>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+        let source = src_sel % g.n();
+        let truth = bellman_ford_semiring::<Bottleneck>(&g, source).unwrap();
+        let (dist, _) = pre.distances_seq(source);
+        for v in 0..g.n() {
+            prop_assert_eq!(dist[v], truth[v], "v={}", v);
+        }
+    }
+
+    /// Random trees with centroid decompositions: exact distances and a
+    /// logarithmic tree height.
+    #[test]
+    fn centroid_trees_work(n in 2usize..120, seed in any::<u64>(), src_sel in 0usize..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let adj = g.undirected_skeleton();
+        let tree = builders::centroid_tree(&adj, RecursionLimits::default());
+        prop_assert!(tree.validate(&adj).is_ok());
+        prop_assert!(tree.height() as usize <= 2 * (usize::BITS - n.leading_zeros()) as usize + 2);
+        let metrics = Metrics::new();
+        let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
+        let source = src_sel % n;
+        let truth = bellman_ford(&g, source).unwrap();
+        let (dist, _) = pre.distances_seq(source);
+        for v in 0..n {
+            prop_assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+        }
+    }
+
+    /// Random integer-weight graphs under the exact integer tropical
+    /// semiring: distances must be *exactly* equal (no float tolerance).
+    #[test]
+    fn integer_weights_are_exact(n in 4usize..50, seed in any::<u64>(), src_sel in 0usize..1000) {
+        use spsep_graph::semiring::TropicalInt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gf = generators::gnm(n, 3 * n, &mut rng);
+        let g: DiGraph<i64> = gf.map_weights(|e| (e.w * 100.0) as i64);
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        let metrics = Metrics::new();
+        let pre = preprocess::<TropicalInt>(&g, &tree, Algorithm::PathDoubling, &metrics).unwrap();
+        let source = src_sel % n;
+        let truth = bellman_ford_semiring::<TropicalInt>(&g, source).unwrap();
+        let (dist, _) = pre.distances_seq(source);
+        prop_assert_eq!(dist, truth);
+    }
+
+    /// Planted negative cycles are always detected.
+    #[test]
+    fn planted_negative_cycle_is_caught(
+        (g, seed) in arb_graph(),
+        cycle_len in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let n = g.n();
+        let cycle_len = cycle_len.min(n);
+        // Pick distinct vertices for the planted cycle.
+        let mut verts: Vec<usize> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        verts.shuffle(&mut rng);
+        let cyc = &verts[..cycle_len];
+        let mut edges = g.edges().to_vec();
+        for i in 0..cycle_len {
+            edges.push(Edge::new(cyc[i], cyc[(i + 1) % cycle_len], -5.0));
+        }
+        let g = DiGraph::from_edges(n, edges);
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        let metrics = Metrics::new();
+        prop_assert!(preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).is_err());
+        prop_assert!(preprocess::<Tropical>(&g, &tree, Algorithm::PathDoubling, &metrics).is_err());
+    }
+}

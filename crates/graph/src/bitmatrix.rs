@@ -1,0 +1,260 @@
+//! 64-bit-blocked boolean matrices.
+//!
+//! The paper's reachability bounds are stated in terms of `M(r)`, the work
+//! of multiplying two `r×r` boolean matrices, instantiated with
+//! Coppersmith–Winograd (`M(r) = o(r^2.37)`). CW-style algorithms are
+//! galactic; the practical realization every implementation uses is
+//! word-parallel boolean multiplication: `r³/64` word operations with
+//! excellent constants. `spsep-core` plugs [`BitMatrix`] in wherever the
+//! paper says "use fast matrix multiplication" (DESIGN.md documents this
+//! substitution).
+
+use rayon::prelude::*;
+
+const BITS: usize = 64;
+
+/// A dense `rows × cols` boolean matrix, rows packed into `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(BITS);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        let word = self.data[r * self.words_per_row + c / BITS];
+        (word >> (c % BITS)) & 1 == 1
+    }
+
+    /// Write entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let word = &mut self.data[r * self.words_per_row + c / BITS];
+        let mask = 1u64 << (c % BITS);
+        if v {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// The packed words of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Bitwise-OR `other`'s row data into `self` (same shape required).
+    pub fn or_assign(&mut self, other: &BitMatrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a |= b;
+        }
+    }
+
+    /// Boolean matrix product `self × other` (shapes `r×k` by `k×c`),
+    /// parallelized over rows of `self`.
+    ///
+    /// Row-oriented: for each set bit `j` of row `i` of `self`, OR row `j`
+    /// of `other` into row `i` of the result — `r·k/1` bit tests plus one
+    /// word-vector OR per set bit, i.e. `O(r·k·c/64)` word ops worst case.
+    pub fn multiply(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must match");
+        let mut result = BitMatrix::zeros(self.rows, other.cols);
+        let wpr_out = result.words_per_row;
+        let wpr_in = self.words_per_row;
+        result
+            .data
+            .par_chunks_mut(wpr_out.max(1))
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let my_row = &self.data[i * wpr_in..(i + 1) * wpr_in];
+                for (wi, &word) in my_row.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let j = wi * BITS + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if j >= other.rows {
+                            break;
+                        }
+                        let other_row = other.row(j);
+                        for (o, &w) in out_row.iter_mut().zip(other_row) {
+                            *o |= w;
+                        }
+                    }
+                }
+            });
+        result
+    }
+
+    /// `self ∨ (self × self)` — one "squaring" step of transitive closure.
+    pub fn square_step(&self) -> BitMatrix {
+        let mut sq = self.multiply(self);
+        sq.or_assign(self);
+        sq
+    }
+
+    /// Transitive closure of an `n×n` adjacency matrix (reflexive), by
+    /// repeated squaring: `⌈log₂ n⌉` boolean products.
+    pub fn transitive_closure(&self) -> BitMatrix {
+        assert_eq!(self.rows, self.cols);
+        let mut closure = self.clone();
+        for i in 0..self.rows {
+            closure.set(i, i, true);
+        }
+        let mut steps = 0usize;
+        let mut span = 1usize;
+        while span < self.rows.max(1) {
+            closure = closure.square_step();
+            span *= 2;
+            steps += 1;
+            // Defensive cap; ⌈log₂ n⌉ always suffices.
+            if steps > 64 {
+                break;
+            }
+        }
+        closure
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_multiply(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+        let mut out = BitMatrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut v = false;
+                for k in 0..a.cols() {
+                    v |= a.get(i, k) && b.get(k, j);
+                }
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn get_set_roundtrip_across_word_boundaries() {
+        let mut m = BitMatrix::zeros(3, 130);
+        m.set(0, 0, true);
+        m.set(1, 63, true);
+        m.set(1, 64, true);
+        m.set(2, 129, true);
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 63));
+        assert!(m.get(1, 64));
+        assert!(m.get(2, 129));
+        assert!(!m.get(0, 1));
+        m.set(1, 64, false);
+        assert!(!m.get(1, 64));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let mut a = BitMatrix::zeros(5, 5);
+        a.set(0, 3, true);
+        a.set(2, 2, true);
+        a.set(4, 1, true);
+        let id = BitMatrix::identity(5);
+        assert_eq!(a.multiply(&id), a);
+        assert_eq!(id.multiply(&a), a);
+    }
+
+    #[test]
+    fn multiply_matches_naive_on_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(r, k, c) in &[(7, 9, 5), (65, 70, 66), (128, 128, 128), (1, 200, 3)] {
+            let mut a = BitMatrix::zeros(r, k);
+            let mut b = BitMatrix::zeros(k, c);
+            for i in 0..r {
+                for j in 0..k {
+                    a.set(i, j, rng.gen_bool(0.2));
+                }
+            }
+            for i in 0..k {
+                for j in 0..c {
+                    b.set(i, j, rng.gen_bool(0.2));
+                }
+            }
+            assert_eq!(a.multiply(&b), naive_multiply(&a, &b));
+        }
+    }
+
+    #[test]
+    fn closure_of_path() {
+        // 0 -> 1 -> 2 -> 3.
+        let mut m = BitMatrix::zeros(4, 4);
+        for i in 0..3 {
+            m.set(i, i + 1, true);
+        }
+        let c = m.transitive_closure();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.get(i, j), j >= i, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_of_cycle_is_complete() {
+        let mut m = BitMatrix::zeros(5, 5);
+        for i in 0..5 {
+            m.set(i, (i + 1) % 5, true);
+        }
+        let c = m.transitive_closure();
+        assert_eq!(c.count_ones(), 25);
+    }
+
+    #[test]
+    fn closure_of_empty_is_identity() {
+        let m = BitMatrix::zeros(6, 6);
+        assert_eq!(m.transitive_closure(), BitMatrix::identity(6));
+    }
+}

@@ -1,0 +1,301 @@
+//! Dense square matrices over a [`Semiring`] with the two kernels the
+//! paper's node-processing steps need:
+//!
+//! * [`SemiMatrix::floyd_warshall`] — all-pairs path weights (Algorithm
+//!   4.1 step ii runs this on `H_S`; the paper cites Floyd–Warshall with
+//!   `O(|S|³ log |S|)` PRAM work / `O(|S|³)` sequential operations);
+//! * [`SemiMatrix::square_step`] — one min-plus "path doubling" step
+//!   `A ← A ⊕ A⊗A` (Algorithm 4.3 step ii(1)).
+//!
+//! Both report their operation count so callers can charge the PRAM cost
+//! model, and whether an **absorbing cycle** (negative cycle under the
+//! tropical semiring) was exposed on the diagonal — the paper's comment
+//! (i) negative-cycle detection hooks in here.
+
+use crate::semiring::Semiring;
+use rayon::prelude::*;
+
+/// Outcome of a dense kernel: primitive operation count and whether some
+/// diagonal entry strictly improved on the empty path (an absorbing
+/// cycle).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelOutcome {
+    /// Inner-loop operations performed.
+    pub ops: u64,
+    /// `true` if an absorbing (e.g. negative) cycle was detected.
+    pub absorbing_cycle: bool,
+    /// `true` if any entry changed.
+    pub changed: bool,
+}
+
+/// A dense `n × n` matrix of semiring weights, row-major.
+#[derive(Clone, Debug)]
+pub struct SemiMatrix<S: Semiring> {
+    n: usize,
+    data: Vec<S::W>,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Semiring> SemiMatrix<S> {
+    /// Matrix of all-`0̄` (no paths), with `1̄` on the diagonal (empty
+    /// paths).
+    pub fn identity(n: usize) -> Self {
+        let mut data = vec![S::zero(); n * n];
+        for i in 0..n {
+            data[i * n + i] = S::one();
+        }
+        SemiMatrix {
+            n,
+            data,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Matrix of all-`0̄`, including the diagonal.
+    pub fn empty(n: usize) -> Self {
+        SemiMatrix {
+            n,
+            data: vec![S::zero(); n * n],
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Order of the matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> S::W {
+        self.data[i * self.n + j]
+    }
+
+    /// Write entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, w: S::W) {
+        self.data[i * self.n + j] = w;
+    }
+
+    /// `combine` `w` into entry `(i, j)` (keep the better of old and new).
+    #[inline]
+    pub fn relax(&mut self, i: usize, j: usize, w: S::W) {
+        let e = &mut self.data[i * self.n + j];
+        *e = S::combine(*e, w);
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[S::W] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// In-place Floyd–Warshall. Diagonal should start at `1̄` (use
+    /// [`SemiMatrix::identity`] + `relax` of the edges).
+    ///
+    /// The `k` loop is inherently sequential; rows are processed in
+    /// parallel for large matrices.
+    pub fn floyd_warshall(&mut self) -> KernelOutcome {
+        let n = self.n;
+        for k in 0..n {
+            // Split out row k so rows can be updated in parallel without
+            // aliasing it.
+            let row_k = self.row(k).to_vec();
+            let process_row = |_i: usize, row_i: &mut [S::W]| {
+                let dik = row_i[k];
+                if S::is_zero(dik) {
+                    return;
+                }
+                for j in 0..n {
+                    row_i[j] = S::combine(row_i[j], S::extend(dik, row_k[j]));
+                }
+            };
+            if n >= 128 {
+                self.data
+                    .par_chunks_mut(n)
+                    .enumerate()
+                    .for_each(|(i, row_i)| process_row(i, row_i));
+            } else {
+                for i in 0..n {
+                    let row_i = &mut self.data[i * n..(i + 1) * n];
+                    process_row(i, row_i);
+                }
+            }
+        }
+        let absorbing = (0..n).any(|i| S::better(self.get(i, i), S::one()));
+        KernelOutcome {
+            ops: (n as u64).pow(3),
+            absorbing_cycle: absorbing,
+            changed: true,
+        }
+    }
+
+    /// One path-doubling step `A ← A ⊕ (A ⊗ A)`; reports whether anything
+    /// changed (Algorithm 4.3's iteration can stop early when no node
+    /// changes).
+    pub fn square_step(&mut self) -> KernelOutcome {
+        let n = self.n;
+        let old = self.data.clone();
+        let changed = std::sync::atomic::AtomicBool::new(false);
+        let body = |i: usize, row_i: &mut [S::W]| {
+            let mut local_change = false;
+            for j in 0..n {
+                let mut acc = row_i[j];
+                for k in 0..n {
+                    let ik = old[i * n + k];
+                    if S::is_zero(ik) {
+                        continue;
+                    }
+                    acc = S::combine(acc, S::extend(ik, old[k * n + j]));
+                }
+                if acc != row_i[j] {
+                    row_i[j] = acc;
+                    local_change = true;
+                }
+            }
+            if local_change {
+                changed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        };
+        if n >= 64 {
+            self.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row_i)| body(i, row_i));
+        } else {
+            let mut data = std::mem::take(&mut self.data);
+            for i in 0..n {
+                body(i, &mut data[i * n..(i + 1) * n]);
+            }
+            self.data = data;
+        }
+        let absorbing = (0..n).any(|i| S::better(self.get(i, i), S::one()));
+        KernelOutcome {
+            ops: (n as u64).pow(3),
+            absorbing_cycle: absorbing,
+            changed: changed.into_inner(),
+        }
+    }
+
+    /// All-pairs path weights by repeated squaring: `⌈log₂ n⌉` doubling
+    /// steps (the classic `Õ(n³)` "transitive-closure bottleneck"
+    /// algorithm the paper's introduction contrasts against).
+    pub fn repeated_squaring(&mut self) -> KernelOutcome {
+        let mut total = KernelOutcome::default();
+        let mut span = 1usize;
+        while span < self.n.max(1) {
+            let out = self.square_step();
+            total.ops += out.ops;
+            total.absorbing_cycle |= out.absorbing_cycle;
+            total.changed |= out.changed;
+            span *= 2;
+            if !out.changed {
+                break;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{Boolean, Tropical};
+
+    fn sample() -> SemiMatrix<Tropical> {
+        // 0 →(1) 1 →(2) 2, 0 →(10) 2, 2 →(1) 3.
+        let mut m = SemiMatrix::<Tropical>::identity(4);
+        m.relax(0, 1, 1.0);
+        m.relax(1, 2, 2.0);
+        m.relax(0, 2, 10.0);
+        m.relax(2, 3, 1.0);
+        m
+    }
+
+    #[test]
+    fn floyd_warshall_shortest_paths() {
+        let mut m = sample();
+        let out = m.floyd_warshall();
+        assert!(!out.absorbing_cycle);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(0, 3), 4.0);
+        assert_eq!(m.get(3, 0), f64::INFINITY);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(out.ops, 64);
+    }
+
+    #[test]
+    fn repeated_squaring_matches_floyd_warshall() {
+        let mut a = sample();
+        let mut b = sample();
+        a.floyd_warshall();
+        b.repeated_squaring();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a.get(i, j), b.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let mut m = SemiMatrix::<Tropical>::identity(3);
+        m.relax(0, 1, 1.0);
+        m.relax(1, 2, -3.0);
+        m.relax(2, 0, 1.0);
+        let out = m.floyd_warshall();
+        assert!(out.absorbing_cycle);
+        let mut m = SemiMatrix::<Tropical>::identity(3);
+        m.relax(0, 1, 1.0);
+        m.relax(1, 2, -3.0);
+        m.relax(2, 0, 1.0);
+        let out = m.repeated_squaring();
+        assert!(out.absorbing_cycle);
+    }
+
+    #[test]
+    fn zero_weight_cycle_is_not_absorbing() {
+        let mut m = SemiMatrix::<Tropical>::identity(2);
+        m.relax(0, 1, 2.0);
+        m.relax(1, 0, -2.0);
+        let out = m.floyd_warshall();
+        assert!(!out.absorbing_cycle);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn boolean_closure_via_squaring() {
+        let mut m = SemiMatrix::<Boolean>::identity(5);
+        for i in 0..4 {
+            m.relax(i, i + 1, true);
+        }
+        m.repeated_squaring();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(m.get(i, j), j >= i);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paths_take_better() {
+        let mut m = SemiMatrix::<Tropical>::identity(2);
+        m.relax(0, 1, 5.0);
+        m.relax(0, 1, 3.0);
+        assert_eq!(m.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn large_matrix_parallel_path() {
+        // Exercise the rayon branch (n ≥ 128): a directed ring.
+        let n = 130;
+        let mut m = SemiMatrix::<Tropical>::identity(n);
+        for i in 0..n {
+            m.relax(i, (i + 1) % n, 1.0);
+        }
+        let out = m.floyd_warshall();
+        assert!(!out.absorbing_cycle);
+        assert_eq!(m.get(0, n - 1), (n - 1) as f64);
+        assert_eq!(m.get(5, 4), (n - 1) as f64);
+    }
+}

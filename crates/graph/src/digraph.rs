@@ -1,0 +1,354 @@
+//! Compact weighted directed graphs with CSR adjacency in both directions.
+//!
+//! The paper's algorithms need three access patterns:
+//!
+//! * iterate edges *leaving* a vertex (augmentation, Dijkstra baseline);
+//! * iterate edges *entering* a vertex (Bellman–Ford relaxation is defined
+//!   in Section 3.2 as "scanning the edges entering v");
+//! * slice out the subgraph induced by a vertex subset `V(t)` (per-node
+//!   processing in Algorithm 4.1 and the leaf initialization of 4.3).
+//!
+//! [`DiGraph`] keeps the edge list plus two CSR indices (by source and by
+//! target) referencing edge ids, so both directions cost one indirection
+//! and subgraph extraction is a single pass.
+
+/// A directed edge with weight `W`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Edge<W> {
+    /// Source vertex.
+    pub from: u32,
+    /// Target vertex.
+    pub to: u32,
+    /// Edge weight (interpreted by a [`crate::Semiring`]).
+    pub w: W,
+}
+
+impl<W> Edge<W> {
+    /// Construct an edge from `from` to `to` with weight `w`.
+    pub fn new(from: usize, to: usize, w: W) -> Self {
+        Edge {
+            from: from as u32,
+            to: to as u32,
+            w,
+        }
+    }
+}
+
+/// A directed graph over vertices `0..n` with weighted edges and CSR
+/// adjacency by source and by target.
+///
+/// Parallel edges and self-loops are permitted (the augmentation
+/// deliberately adds parallel shortcut edges; consumers `combine` them).
+///
+/// ```
+/// use spsep_graph::{DiGraph, Edge};
+///
+/// let g = DiGraph::from_edges(3, vec![
+///     Edge::new(0, 1, 2.5),
+///     Edge::new(1, 2, 1.0),
+/// ]);
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.out_degree(0), 1);
+/// assert_eq!(g.in_edges(2).next().unwrap().from, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiGraph<W: Copy> {
+    n: usize,
+    edges: Vec<Edge<W>>,
+    /// CSR by source: `out_adj[out_off[v]..out_off[v+1]]` are edge ids
+    /// leaving `v`.
+    out_off: Vec<u32>,
+    out_adj: Vec<u32>,
+    /// CSR by target: `in_adj[in_off[v]..in_off[v+1]]` are edge ids
+    /// entering `v`.
+    in_off: Vec<u32>,
+    in_adj: Vec<u32>,
+}
+
+impl<W: Copy> DiGraph<W> {
+    /// Build a graph on `n` vertices from an edge list.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: Vec<Edge<W>>) -> Self {
+        let mut out_off = vec![0u32; n + 1];
+        let mut in_off = vec![0u32; n + 1];
+        for e in &edges {
+            assert!((e.from as usize) < n, "edge source {} out of range", e.from);
+            assert!((e.to as usize) < n, "edge target {} out of range", e.to);
+            out_off[e.from as usize + 1] += 1;
+            in_off[e.to as usize + 1] += 1;
+        }
+        for v in 0..n {
+            out_off[v + 1] += out_off[v];
+            in_off[v + 1] += in_off[v];
+        }
+        let mut out_adj = vec![0u32; edges.len()];
+        let mut in_adj = vec![0u32; edges.len()];
+        let mut out_cursor = out_off.clone();
+        let mut in_cursor = in_off.clone();
+        for (id, e) in edges.iter().enumerate() {
+            let oc = &mut out_cursor[e.from as usize];
+            out_adj[*oc as usize] = id as u32;
+            *oc += 1;
+            let ic = &mut in_cursor[e.to as usize];
+            in_adj[*ic as usize] = id as u32;
+            *ic += 1;
+        }
+        DiGraph {
+            n,
+            edges,
+            out_off,
+            out_adj,
+            in_off,
+            in_adj,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (counting parallel edges).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The full edge list, indexed by edge id.
+    #[inline]
+    pub fn edges(&self) -> &[Edge<W>] {
+        &self.edges
+    }
+
+    /// The edge with id `id`.
+    #[inline]
+    pub fn edge(&self, id: usize) -> &Edge<W> {
+        &self.edges[id]
+    }
+
+    /// Ids of edges leaving `v`.
+    #[inline]
+    pub fn out_edge_ids(&self, v: usize) -> &[u32] {
+        &self.out_adj[self.out_off[v] as usize..self.out_off[v + 1] as usize]
+    }
+
+    /// Ids of edges entering `v`.
+    #[inline]
+    pub fn in_edge_ids(&self, v: usize) -> &[u32] {
+        &self.in_adj[self.in_off[v] as usize..self.in_off[v + 1] as usize]
+    }
+
+    /// Edges leaving `v`.
+    pub fn out_edges(&self, v: usize) -> impl Iterator<Item = &Edge<W>> + '_ {
+        self.out_edge_ids(v).iter().map(move |&id| &self.edges[id as usize])
+    }
+
+    /// Edges entering `v`.
+    pub fn in_edges(&self, v: usize) -> impl Iterator<Item = &Edge<W>> + '_ {
+        self.in_edge_ids(v).iter().map(move |&id| &self.edges[id as usize])
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        (self.out_off[v + 1] - self.out_off[v]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        (self.in_off[v + 1] - self.in_off[v]) as usize
+    }
+
+    /// The graph with every edge reversed (weights preserved).
+    pub fn reversed(&self) -> DiGraph<W> {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge {
+                from: e.to,
+                to: e.from,
+                w: e.w,
+            })
+            .collect();
+        DiGraph::from_edges(self.n, edges)
+    }
+
+    /// Apply `f` to every edge weight, producing a graph over a new weight
+    /// domain (e.g. forgetting weights for reachability).
+    pub fn map_weights<W2: Copy>(&self, mut f: impl FnMut(&Edge<W>) -> W2) -> DiGraph<W2> {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge {
+                from: e.from,
+                to: e.to,
+                w: f(e),
+            })
+            .collect();
+        DiGraph::from_edges(self.n, edges)
+    }
+
+    /// The subgraph induced by `vertices` (paper notation `G(t) =
+    /// (V(t), E(V(t)))`), together with the map from new ids to original
+    /// ids. `vertices` must not contain duplicates.
+    ///
+    /// Runs in time proportional to the total degree of `vertices` (using a
+    /// scratch map of size `n`, reused across calls via `scratch`).
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (DiGraph<W>, Vec<usize>) {
+        let mut local = vec![u32::MAX; self.n];
+        for (i, &v) in vertices.iter().enumerate() {
+            debug_assert_eq!(local[v], u32::MAX, "duplicate vertex {v}");
+            local[v] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for (i, &v) in vertices.iter().enumerate() {
+            for e in self.out_edges(v) {
+                let lt = local[e.to as usize];
+                if lt != u32::MAX {
+                    edges.push(Edge {
+                        from: i as u32,
+                        to: lt,
+                        w: e.w,
+                    });
+                }
+            }
+        }
+        (
+            DiGraph::from_edges(vertices.len(), edges),
+            vertices.to_vec(),
+        )
+    }
+
+    /// Undirected-skeleton adjacency: for every vertex, the sorted,
+    /// deduplicated list of neighbours ignoring edge direction and weights.
+    ///
+    /// The separator decomposition "depends only on the undirected
+    /// unweighted skeleton of G" (paper comment (iv)); builders consume
+    /// this form.
+    pub fn undirected_skeleton(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            if e.from != e.to {
+                adj[e.from as usize].push(e.to);
+                adj[e.to as usize].push(e.from);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<f64> {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0
+        DiGraph::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 3, 2.0),
+                Edge::new(0, 2, 4.0),
+                Edge::new(2, 3, 0.5),
+                Edge::new(3, 0, -1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn adjacency_matches_edges() {
+        let g = diamond();
+        let outs: Vec<u32> = g.out_edges(0).map(|e| e.to).collect();
+        assert_eq!(outs.len(), 2);
+        assert!(outs.contains(&1) && outs.contains(&2));
+        let ins: Vec<u32> = g.in_edges(3).map(|e| e.from).collect();
+        assert!(ins.contains(&1) && ins.contains(&2));
+    }
+
+    #[test]
+    fn reversal_swaps_directions() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.m(), g.m());
+        let outs: Vec<u32> = r.out_edges(3).map(|e| e.to).collect();
+        assert!(outs.contains(&1) && outs.contains(&2));
+        assert_eq!(r.out_degree(0), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = diamond();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(map, vec![0, 1, 3]);
+        // Edges kept: 0->1, 1->3, 3->0 (2->3 and 0->2 dropped).
+        assert_eq!(sub.m(), 3);
+        let weights: Vec<f64> = sub.edges().iter().map(|e| e.w).collect();
+        assert!(weights.contains(&1.0));
+        assert!(weights.contains(&2.0));
+        assert!(weights.contains(&-1.0));
+    }
+
+    #[test]
+    fn skeleton_is_symmetric_and_deduped() {
+        let mut edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 0, 2.0)];
+        edges.push(Edge::new(1, 2, 1.0));
+        edges.push(Edge::new(2, 2, 9.0)); // self loop ignored
+        let g = DiGraph::from_edges(3, edges);
+        let sk = g.undirected_skeleton();
+        assert_eq!(sk[0], vec![1]);
+        assert_eq!(sk[1], vec![0, 2]);
+        assert_eq!(sk[2], vec![1]);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let g = DiGraph::from_edges(
+            2,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.0)],
+        );
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn map_weights_changes_domain() {
+        let g = diamond();
+        let b = g.map_weights(|_| true);
+        assert_eq!(b.m(), g.m());
+        assert!(b.edges().iter().all(|e| e.w));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_vertex() {
+        let _ = DiGraph::from_edges(2, vec![Edge::new(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<f64> = DiGraph::from_edges(0, vec![]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+}

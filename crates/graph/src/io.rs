@@ -1,0 +1,166 @@
+//! Plain-text graph serialization in the DIMACS shortest-path style.
+//!
+//! Format:
+//!
+//! ```text
+//! c free-form comment lines
+//! p sp <n> <m>
+//! a <from> <to> <weight>     (1-based vertex ids, m lines)
+//! ```
+//!
+//! Lets experiment inputs be checked in, regenerated, and diffed.
+
+use crate::digraph::{DiGraph, Edge};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+/// Error produced while parsing a DIMACS-style graph.
+#[derive(Debug)]
+pub enum ParseError {
+    /// I/O failure of the underlying reader.
+    Io(std::io::Error),
+    /// Structural problem, with a human-readable description.
+    Format(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Serialize `g` in DIMACS `sp` format.
+pub fn write_dimacs<Wr: Write>(g: &DiGraph<f64>, out: &mut Wr) -> std::io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "p sp {} {}", g.n(), g.m()).unwrap();
+    for e in g.edges() {
+        writeln!(buf, "a {} {} {}", e.from + 1, e.to + 1, e.w).unwrap();
+    }
+    out.write_all(buf.as_bytes())
+}
+
+/// Parse a DIMACS `sp` graph.
+pub fn read_dimacs<R: BufRead>(input: R) -> Result<DiGraph<f64>, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut declared_m = 0usize;
+    let mut edges: Vec<Edge<f64>> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if parts.next() != Some("sp") {
+                    return Err(ParseError::Format(format!(
+                        "line {}: expected 'p sp'",
+                        lineno + 1
+                    )));
+                }
+                let nv: usize = parse_field(parts.next(), lineno, "vertex count")?;
+                declared_m = parse_field(parts.next(), lineno, "edge count")?;
+                n = Some(nv);
+                edges.reserve(declared_m);
+            }
+            Some("a") => {
+                let n = n.ok_or_else(|| {
+                    ParseError::Format(format!("line {}: arc before problem line", lineno + 1))
+                })?;
+                let from: usize = parse_field(parts.next(), lineno, "arc source")?;
+                let to: usize = parse_field(parts.next(), lineno, "arc target")?;
+                let w: f64 = parse_field(parts.next(), lineno, "arc weight")?;
+                if from == 0 || to == 0 || from > n || to > n {
+                    return Err(ParseError::Format(format!(
+                        "line {}: vertex id out of range 1..={}",
+                        lineno + 1,
+                        n
+                    )));
+                }
+                edges.push(Edge::new(from - 1, to - 1, w));
+            }
+            Some(other) => {
+                return Err(ParseError::Format(format!(
+                    "line {}: unknown record '{}'",
+                    lineno + 1,
+                    other
+                )));
+            }
+            None => {}
+        }
+    }
+    let n = n.ok_or_else(|| ParseError::Format("missing problem line".into()))?;
+    if edges.len() != declared_m {
+        return Err(ParseError::Format(format!(
+            "declared {} arcs but found {}",
+            declared_m,
+            edges.len()
+        )));
+    }
+    Ok(DiGraph::from_edges(n, edges))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    field
+        .ok_or_else(|| ParseError::Format(format!("line {}: missing {}", lineno + 1, what)))?
+        .parse()
+        .map_err(|_| ParseError::Format(format!("line {}: bad {}", lineno + 1, what)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = generators::grid(&[4, 5], &mut rng);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let g2 = read_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(g.n(), g2.n());
+        assert_eq!(g.m(), g2.m());
+        for (a, b) in g.edges().iter().zip(g2.edges()) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert!((a.w - b.w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "c hello\n\np sp 2 1\nc mid\na 1 2 3.5\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edges()[0].w, 3.5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(read_dimacs("a 1 2 3\n".as_bytes()).is_err()); // arc before p
+        assert!(read_dimacs("p sp 2 1\na 1 5 1.0\n".as_bytes()).is_err()); // range
+        assert!(read_dimacs("p sp 2 2\na 1 2 1.0\n".as_bytes()).is_err()); // count
+        assert!(read_dimacs("q sp 2 1\n".as_bytes()).is_err()); // record
+        assert!(read_dimacs("p sp 2 1\na 1 2 abc\n".as_bytes()).is_err()); // weight
+    }
+}

@@ -1,0 +1,35 @@
+//! Graph substrate for the `spsep` workspace.
+//!
+//! This crate provides everything the separator-decomposition shortest-path
+//! algorithms (Cohen, SPAA'93 / J. Algorithms 1996) need from a graph
+//! library:
+//!
+//! * [`DiGraph`] — a compact directed graph with per-edge weights and both
+//!   out- and in-adjacency in CSR form (the query engine scans *incoming*
+//!   edges, the augmentation scans *outgoing* ones);
+//! * [`semiring`] — the path-algebra abstraction (paper comment (iii):
+//!   "our algorithm is applicable to general path algebra problems over
+//!   semirings") with tropical, boolean, max-plus, bottleneck and
+//!   reliability instances;
+//! * [`generators`] — the graph families the paper's analysis targets:
+//!   d-dimensional grids (trivial `k^((d-1)/d)` separators), trees
+//!   (centroid separators), geometric/overlap-style graphs, plus random
+//!   graphs for adversarial testing;
+//! * [`bitmatrix`] — 64-bit-blocked boolean matrices, the practical
+//!   stand-in for the paper's fast-matrix-multiplication reachability
+//!   substrate `M(r)`;
+//! * [`traversal`], [`unionfind`], [`io`] — supporting utilities.
+
+pub mod bitmatrix;
+pub mod dense;
+pub mod digraph;
+pub mod generators;
+pub mod io;
+pub mod semiring;
+pub mod traversal;
+pub mod unionfind;
+
+pub use bitmatrix::BitMatrix;
+pub use dense::SemiMatrix;
+pub use digraph::{DiGraph, Edge};
+pub use semiring::{Boolean, Bottleneck, MaxPlus, Reliability, Semiring, Tropical, TropicalInt};

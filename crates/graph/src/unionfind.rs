@@ -1,0 +1,93 @@
+//! Union–find with path halving and union by size. Used by separator
+//! builders to track components of `G(t) \ S(t)` and by validators.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `v`'s set (path halving).
+    pub fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] as usize != v {
+            let grand = self.parent[self.parent[v] as usize];
+            self.parent[v] = grand;
+            v = grand as usize;
+        }
+        v
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `v`.
+    pub fn set_size(&mut self, v: usize) -> usize {
+        let r = self.find(v);
+        self.size[r] as usize
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.components(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.set_size(1), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn chain_of_unions_collapses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for v in 1..n {
+            uf.union(v - 1, v);
+        }
+        assert_eq!(uf.components(), 1);
+        assert_eq!(uf.set_size(0), n);
+        assert!(uf.same(0, n - 1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Section 6: planar digraphs whose vertices lie on few faces.
+//!
+//! Frederickson's *hammock decomposition* splits such a graph into `O(q)`
+//! outerplanar subgraphs ("hammocks"), each attached to the rest of the
+//! graph through at most four vertices. The Pantziou–Spirakis–Zaroliagis
+//! parallelization — which the paper improves — reduces shortest paths to
+//! a graph `G′` on the `O(q)` attachment vertices; the paper's
+//! contribution is to solve `G′` with a `k^{1/2}`-separator decomposition
+//! instead of dense methods, giving `O(q^{1.5} + s(n + q log q))`-style
+//! work.
+//!
+//! **Substitution (DESIGN.md):** Frederickson's decomposition *algorithm*
+//! operates on an arbitrary embedding; here the [`generator`] produces a
+//! few-faces planar graph *together with* its hammock decomposition
+//! (ladders glued on a planar skeleton), and [`pipeline`] implements the
+//! full solve path the paper describes:
+//!
+//! 1. per-hammock all-pairs between attachments, and attachment ↔ vertex
+//!    tables (each hammock handled by the core separator machinery —
+//!    outerplanar ladders have `O(1)` BFS separators);
+//! 2. assembly of `G′` over the attachment vertices;
+//! 3. the main algorithm of Sections 3–5 on `G′` with its grid separator
+//!    tree;
+//! 4. query composition `d(u,v) = min_{a,a′} d_h(u→a) ⊕ d_{G′}(a→a′) ⊕
+//!    d_{h′}(a′→v)` (plus the within-hammock direct term).
+
+pub mod generator;
+pub mod pipeline;
+
+pub use generator::{generate_hammock_graph, Hammock, HammockGraph};
+pub use pipeline::HammockSP;

@@ -1,0 +1,115 @@
+//! Property tests for the Section 6 pipeline: random hammock graphs must
+//! produce exact distances through the `G′` reduction, from both full
+//! queries and point queries.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_planar::{generate_hammock_graph, HammockSP};
+use spsep_pram::Metrics;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hammock_distances_match_dijkstra(
+        side in 2usize..5,
+        ladder in 1usize..6,
+        seed in any::<u64>(),
+        src_sel in 0usize..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hg = generate_hammock_graph(side, ladder, &mut rng);
+        let metrics = Metrics::new();
+        let sp = HammockSP::preprocess(&hg, &metrics);
+        let n = hg.graph.n();
+        let source = src_sel % n;
+        let got = sp.distances(source);
+        let want = spsep_baselines::dijkstra(&hg.graph, source).dist;
+        for v in 0..n {
+            prop_assert!(
+                (got[v] - want[v]).abs() < 1e-6 * (1.0 + want[v].abs()),
+                "source {} vertex {}: {} vs {}", source, v, got[v], want[v]
+            );
+        }
+    }
+
+    #[test]
+    fn hammock_point_queries_match(
+        side in 2usize..4,
+        ladder in 1usize..4,
+        seed in any::<u64>(),
+        u_sel in 0usize..1000,
+        v_sel in 0usize..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hg = generate_hammock_graph(side, ladder, &mut rng);
+        let metrics = Metrics::new();
+        let sp = HammockSP::preprocess(&hg, &metrics);
+        let n = hg.graph.n();
+        let (u, v) = (u_sel % n, v_sel % n);
+        let mut cache = sp.gprime_cache();
+        let got = sp.distance(u, v, &mut cache);
+        let want = spsep_baselines::dijkstra(&hg.graph, u).dist[v];
+        prop_assert!(
+            (got - want).abs() < 1e-6 * (1.0 + want.abs()),
+            "pair ({u},{v}): {got} vs {want}"
+        );
+    }
+
+    #[test]
+    fn routed_paths_are_real_and_optimal(
+        side in 2usize..4,
+        ladder in 1usize..4,
+        seed in any::<u64>(),
+        u_sel in 0usize..1000,
+        v_sel in 0usize..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hg = generate_hammock_graph(side, ladder, &mut rng);
+        let metrics = Metrics::new();
+        let sp = HammockSP::preprocess(&hg, &metrics);
+        let n = hg.graph.n();
+        let (u, v) = (u_sel % n, v_sel % n);
+        let want = spsep_baselines::dijkstra(&hg.graph, u).dist[v];
+        let path = sp.route(u, v).expect("hammock graphs are strongly connected");
+        prop_assert_eq!(path[0] as usize, u);
+        prop_assert_eq!(*path.last().unwrap() as usize, v);
+        // Path must be real (consecutive arcs exist) and optimal.
+        let mut total = 0.0;
+        for pair in path.windows(2) {
+            let w = hg
+                .graph
+                .out_edges(pair[0] as usize)
+                .filter(|e| e.to == pair[1])
+                .map(|e| e.w)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(w.is_finite(), "arc {}→{} missing", pair[0], pair[1]);
+            total += w;
+        }
+        prop_assert!(
+            (total - want).abs() < 1e-6 * (1.0 + want.abs()),
+            "routed weight {total} vs optimal {want}"
+        );
+    }
+
+    #[test]
+    fn generator_structure(side in 2usize..6, ladder in 1usize..8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hg = generate_hammock_graph(side, ladder, &mut rng);
+        // q skeleton vertices + 2·ladder vertices per hammock.
+        let skeleton_edges = 2 * side * (side - 1);
+        prop_assert_eq!(hg.hammocks.len(), skeleton_edges);
+        prop_assert_eq!(hg.graph.n(), side * side + skeleton_edges * 2 * ladder);
+        // Every vertex belongs to ≥ 1 hammock; interior ladder vertices
+        // to exactly one.
+        for v in hg.q_vertices..hg.graph.n() {
+            let count = hg
+                .hammocks
+                .iter()
+                .filter(|h| h.vertices.binary_search(&(v as u32)).is_ok())
+                .count();
+            prop_assert_eq!(count, 1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Separator decomposition trees (Section 2.3 of the paper).
+//!
+//! A *separator decomposition tree* `T_G` of a graph `G` is a rooted binary
+//! tree whose nodes `t` carry a vertex set `V(t)` and a separator
+//! `S(t) ⊆ V(t)` of the induced subgraph `G(t)`; the children partition
+//! `G(t) \ S(t)` (each child additionally receives the separator vertices,
+//! see DESIGN.md §5). Derived per node is the *boundary*
+//! `B(t) = (S(parent) ∪ B(parent)) ∩ V(t)`, and per vertex the *level*
+//! (depth of the shallowest separator containing it) and *node* maps used
+//! throughout Section 3 of the paper.
+//!
+//! The decomposition depends only on the **undirected unweighted skeleton**
+//! of `G` (paper comment (iv)), so builders consume the skeleton adjacency
+//! and the same tree can be reused across weightings/orientations.
+//!
+//! Builders provided:
+//!
+//! * [`builders::grid_tree`] — exact hyperplane separators for d-dimensional
+//!   grids: the `k^((d-1)/d)` family of the paper's introduction (and its
+//!   Figure 1);
+//! * [`builders::geometric_tree`] — coordinate-median separators for embedded
+//!   (overlap-style) graphs, standing in for Miller–Teng–Vavasis /
+//!   Gazit–Miller (see DESIGN.md substitution table);
+//! * [`builders::centroid_tree`] — single-vertex centroid separators for trees
+//!   (`μ → 0`);
+//! * [`builders::bfs_tree`] — BFS-level separators for arbitrary
+//!   graphs (no size guarantee in general; tight on bounded-genus/grid
+//!   inputs).
+//!
+//! [`SepTree::validate`] checks every structural invariant (Prop. 2.1 of
+//! the paper) and is exercised by the property tests.
+
+pub mod builders;
+pub mod engine;
+pub mod io;
+pub mod planar;
+pub mod tree;
+pub mod treewidth;
+
+pub use engine::{RecursionLimits, Separation, SubProblem};
+pub use tree::{NodeId, SepNode, SepTree, UNDEFINED_LEVEL};

@@ -1,0 +1,92 @@
+//! Property tests for the decomposition builders: every builder must
+//! produce a tree that passes the full Prop 2.1 validator on its target
+//! family, with the expected height and separator-size profiles.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep_graph::generators;
+use spsep_separator::{builders, RecursionLimits};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn grid_trees_always_validate(w in 2usize..20, h in 2usize..20) {
+        let tree = builders::grid_tree(&[w, h], RecursionLimits::default());
+        let (g, _) = generators::grid_with_weights(&[w, h], |_, _| 1.0);
+        prop_assert!(tree.validate(&g.undirected_skeleton()).is_ok());
+        // Hyperplane separators of a w×h grid never exceed max(w, h).
+        for t in tree.nodes() {
+            prop_assert!(t.separator.len() <= w.max(h));
+        }
+        // Balanced recursion: height ≤ log_{1/α} n with α ≈ 0.6 plus slack.
+        let n = (w * h) as f64;
+        prop_assert!((tree.height() as f64) <= 3.0 * n.log2() + 4.0);
+    }
+
+    #[test]
+    fn grid3d_trees_always_validate(a in 2usize..7, b in 2usize..7, c in 2usize..7) {
+        let tree = builders::grid_tree(&[a, b, c], RecursionLimits::default());
+        let (g, _) = generators::grid_with_weights(&[a, b, c], |_, _| 1.0);
+        prop_assert!(tree.validate(&g.undirected_skeleton()).is_ok());
+    }
+
+    #[test]
+    fn centroid_trees_have_singleton_separators(n in 2usize..200, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let adj = g.undirected_skeleton();
+        let tree = builders::centroid_tree(&adj, RecursionLimits::default());
+        prop_assert!(tree.validate(&adj).is_ok());
+        for t in tree.nodes() {
+            prop_assert!(t.separator.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn bfs_trees_validate_on_arbitrary_graphs(
+        n in 2usize..80,
+        density in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm(n, n * density, &mut rng);
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        prop_assert!(tree.validate(&adj).is_ok());
+    }
+
+    #[test]
+    fn geometric_trees_validate(n in 20usize..250, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, coords) = generators::geometric(n, 2, 0.2, &mut rng);
+        let adj = g.undirected_skeleton();
+        let tree = builders::geometric_tree(&adj, &coords, RecursionLimits::default());
+        prop_assert!(tree.validate(&adj).is_ok());
+    }
+
+    /// Levels and node maps satisfy the paper's structural facts:
+    /// boundary vertices have level < node level; separator vertices have
+    /// level ≤ node level.
+    #[test]
+    fn level_invariants(n in 4usize..120, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm(n, 3 * n, &mut rng);
+        let adj = g.undirected_skeleton();
+        let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+        for t in tree.nodes() {
+            for &v in &t.boundary {
+                prop_assert!(tree.vertex_level(v as usize) < t.level);
+            }
+            for &v in &t.separator {
+                prop_assert!(tree.vertex_level(v as usize) <= t.level);
+            }
+        }
+        // node(v) is a node actually containing v.
+        for v in 0..n {
+            let t = tree.node(tree.vertex_node(v));
+            prop_assert!(t.vertices.binary_search(&(v as u32)).is_ok());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the difference-constraint solver: systems with a
+//! planted solution are always feasible and check out; systems with a
+//! planted negative cycle are always rejected; the separator path agrees
+//! with Bellman–Ford.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spsep_pram::Metrics;
+use spsep_tvpi::{grid_schedule_system, Solution, System};
+
+/// A random feasible system: plant x*, emit constraints with nonnegative
+/// slack around it.
+fn planted_system(n: usize, m: usize, seed: u64) -> (System, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xstar: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+    let mut sys = System::new(n);
+    for _ in 0..m {
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n);
+        if i == j {
+            j = (j + 1) % n;
+        }
+        let slack = rng.gen_range(0.0..5.0);
+        sys.add(i, j, xstar[i] - xstar[j] + slack);
+    }
+    (sys, xstar)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn planted_feasible_systems_solve(n in 2usize..60, m in 1usize..200, seed in any::<u64>()) {
+        let (sys, xstar) = planted_system(n, m, seed);
+        sys.check(&xstar, 1e-9).expect("planted solution satisfies");
+        let metrics = Metrics::new();
+        match sys.solve(&metrics) {
+            Solution::Feasible(x) => sys.check(&x, 1e-9).expect("solver output satisfies"),
+            Solution::Infeasible => prop_assert!(false, "feasible system rejected"),
+        }
+    }
+
+    #[test]
+    fn solver_matches_bellman_ford(n in 2usize..40, m in 1usize..120, seed in any::<u64>()) {
+        let (sys, _) = planted_system(n, m, seed);
+        let metrics = Metrics::new();
+        let (a, b) = (sys.solve(&metrics), sys.solve_bellman_ford());
+        match (a, b) {
+            (Solution::Feasible(x), Solution::Feasible(y)) => {
+                for (xa, ya) in x.iter().zip(&y) {
+                    prop_assert!((xa - ya).abs() < 1e-6, "{xa} vs {ya}");
+                }
+            }
+            other => prop_assert!(false, "disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planted_negative_cycle_rejected(
+        n in 3usize..40, m in 0usize..80, cyc in 2usize..5, seed in any::<u64>()
+    ) {
+        let (mut sys, _) = planted_system(n, m, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        // Plant a strictly negative constraint cycle on random distinct
+        // variables.
+        use rand::seq::SliceRandom;
+        let mut vars: Vec<usize> = (0..n).collect();
+        vars.shuffle(&mut rng);
+        let cyc = cyc.min(n);
+        for i in 0..cyc {
+            sys.add(vars[i], vars[(i + 1) % cyc], -1.0);
+        }
+        let metrics = Metrics::new();
+        prop_assert_eq!(sys.solve(&metrics), Solution::Infeasible);
+        prop_assert_eq!(sys.solve_bellman_ford(), Solution::Infeasible);
+    }
+
+    #[test]
+    fn grid_systems_feasible_iff_positive_slack(
+        rows in 2usize..10, cols in 2usize..10, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let good = grid_schedule_system(rows, cols, 5.0, 1.0, &mut rng);
+        let metrics = Metrics::new();
+        prop_assert!(matches!(good.solve(&metrics), Solution::Feasible(_)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bad = grid_schedule_system(rows, cols, 5.0, -0.5, &mut rng);
+        prop_assert_eq!(bad.solve(&metrics), Solution::Infeasible);
+    }
+}

@@ -1,0 +1,95 @@
+//! Section 6 end-to-end: shortest paths on a planar graph whose vertices
+//! lie on few faces, via the hammock pipeline.
+//!
+//! ```text
+//! cargo run --release --example few_faces_planar
+//! ```
+//!
+//! A `side × side` skeleton with ladder hammocks on every skeleton edge
+//! gives `q = side² ≪ n` — the regime where reducing to `G′` (on the
+//! attachment vertices) and solving `G′` with its grid separator tree
+//! beats running the main algorithm on all of `G`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spsep::core::{preprocess, Algorithm};
+use spsep::graph::semiring::Tropical;
+use spsep::planar::{generate_hammock_graph, HammockSP};
+use spsep::pram::Metrics;
+use spsep::separator::{builders, RecursionLimits};
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (side, ladder) = (8, 40);
+    let hg = generate_hammock_graph(side, ladder, &mut rng);
+    let n = hg.graph.n();
+    println!(
+        "few-faces planar graph: n = {n}, m = {}, q = {} attachment vertices, {} hammocks",
+        hg.graph.m(),
+        hg.q_vertices,
+        hg.hammocks.len()
+    );
+
+    // Pipeline A (Section 6): hammock tables → G′ → core on G′.
+    let metrics_a = Metrics::new();
+    let t0 = Instant::now();
+    let sp = HammockSP::preprocess(&hg, &metrics_a);
+    let t_hammock_pre = t0.elapsed();
+    let sources: Vec<usize> = (0..8).map(|i| i * (n / 8)).collect();
+    let t1 = Instant::now();
+    let rows_a = sp.distances_multi(&sources);
+    let t_hammock_q = t1.elapsed();
+    println!(
+        "hammock pipeline: preprocess {:.0?} (G′ has {} shortcuts), {} queries {:.0?}",
+        t_hammock_pre,
+        sp.gprime_stats().eplus_edges,
+        sources.len(),
+        t_hammock_q
+    );
+
+    // Pipeline B: the main algorithm directly on all of G.
+    let metrics_b = Metrics::new();
+    let t2 = Instant::now();
+    let adj = hg.graph.undirected_skeleton();
+    let tree = builders::bfs_tree(&adj, RecursionLimits::default());
+    let pre = preprocess::<Tropical>(&hg.graph, &tree, Algorithm::LeavesUp, &metrics_b)
+        .expect("positive weights");
+    let t_direct_pre = t2.elapsed();
+    let t3 = Instant::now();
+    let rows_b = pre.distances_multi(&sources);
+    let t_direct_q = t3.elapsed();
+    println!(
+        "direct pipeline:  preprocess {:.0?} ({} shortcuts), {} queries {:.0?}",
+        t_direct_pre,
+        pre.stats().eplus_edges,
+        sources.len(),
+        t_direct_q
+    );
+
+    // Both must agree with each other (and with Dijkstra on one source).
+    let mut worst = 0.0f64;
+    for (ra, rb) in rows_a.iter().zip(&rows_b) {
+        for (a, b) in ra.iter().zip(rb) {
+            if a.is_finite() && b.is_finite() {
+                worst = worst.max((a - b).abs());
+            }
+        }
+    }
+    let dj = spsep::baselines::dijkstra(&hg.graph, sources[0]);
+    for (a, b) in rows_a[0].iter().zip(&dj.dist) {
+        if a.is_finite() {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    println!("max |Δ| across pipelines and Dijkstra: {worst:.2e}");
+    assert!(worst < 1e-6);
+
+    // Point queries through the cached G′ rows.
+    let mut cache = sp.gprime_cache();
+    let pairs = [(0usize, n - 1), (n / 3, 2 * n / 3), (1, n / 2)];
+    for (u, v) in pairs {
+        let d = sp.distance(u, v, &mut cache);
+        println!("d({u} → {v}) = {d:.3}");
+    }
+}

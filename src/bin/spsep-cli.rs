@@ -1,0 +1,237 @@
+//! `spsep-cli` — command-line front end for the separator shortest-path
+//! library.
+//!
+//! ```text
+//! spsep-cli info  <graph.gr>                          graph + decomposition stats
+//! spsep-cli tree  <graph.gr> -o <tree.st>             build and save a decomposition
+//! spsep-cli sssp  <graph.gr> -s <src> [...]           single-source distances
+//! spsep-cli reach <graph.gr> -s <src>                 reachable vertex count
+//! ```
+//!
+//! Common flags:
+//!   -t <tree.st>       reuse a saved decomposition (paper comment (iv))
+//!   -a 41|43|44        E⁺ construction (default 41 = leaves-up)
+//!   -b bfs|centroid    decomposition builder (default bfs; centroid
+//!                      for tree-shaped graphs)
+//!   --print-dists      dump every distance (default: summary only)
+//!
+//! Graphs are DIMACS `sp` files (`p sp n m` + `a u v w`, 1-based).
+
+use spsep::core::{preprocess, Algorithm};
+use spsep::graph::semiring::Tropical;
+use spsep::graph::DiGraph;
+use spsep::pram::Metrics;
+use spsep::separator::{builders, RecursionLimits, SepTree};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    graph_path: String,
+    source: usize,
+    algo: Algorithm,
+    builder: String,
+    tree_in: Option<String>,
+    tree_out: Option<String>,
+    print_dists: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spsep-cli <info|tree|sssp|reach> <graph.gr> \
+         [-s source] [-a 41|43|44] [-t tree.st] [-o tree.st] [--print-dists]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let graph_path = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        graph_path,
+        source: 0,
+        algo: Algorithm::LeavesUp,
+        builder: "bfs".into(),
+        tree_in: None,
+        tree_out: None,
+        print_dists: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "-s" => {
+                args.source = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?
+            }
+            "-a" => {
+                args.algo = match argv.next().as_deref() {
+                    Some("41") => Algorithm::LeavesUp,
+                    Some("43") => Algorithm::PathDoubling,
+                    Some("44") => Algorithm::SharedDoubling,
+                    _ => return Err(usage()),
+                }
+            }
+            "-b" => args.builder = argv.next().ok_or_else(usage)?,
+            "-t" => args.tree_in = Some(argv.next().ok_or_else(usage)?),
+            "-o" => args.tree_out = Some(argv.next().ok_or_else(usage)?),
+            "--print-dists" => args.print_dists = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn load_graph(path: &str) -> Result<DiGraph<f64>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    spsep::graph::io::read_dimacs(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn obtain_tree(g: &DiGraph<f64>, args: &Args) -> Result<SepTree, String> {
+    let tree = match &args.tree_in {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let tree = spsep::separator::io::read_tree(BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+            if tree.n() != g.n() {
+                return Err(format!(
+                    "tree is over {} vertices but the graph has {}",
+                    tree.n(),
+                    g.n()
+                ));
+            }
+            tree
+        }
+        None => {
+            let adj = g.undirected_skeleton();
+            match args.builder.as_str() {
+                "bfs" => builders::bfs_tree(&adj, RecursionLimits::default()),
+                "centroid" => builders::centroid_tree(&adj, RecursionLimits::default()),
+                other => return Err(format!("unknown builder '{other}' (bfs|centroid)")),
+            }
+        }
+    };
+    tree.validate(&g.undirected_skeleton())
+        .map_err(|e| format!("invalid decomposition: {e}"))?;
+    if let Some(path) = &args.tree_out {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        spsep::separator::io::write_tree(&tree, &mut BufWriter::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote decomposition to {path}");
+    }
+    Ok(tree)
+}
+
+fn run() -> Result<(), String> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => {
+            std::process::exit(if code == ExitCode::SUCCESS { 0 } else { 2 });
+        }
+    };
+    let g = load_graph(&args.graph_path)?;
+    match args.command.as_str() {
+        "info" => {
+            let tree = obtain_tree(&g, &args)?;
+            println!("graph: n = {}, m = {}", g.n(), g.m());
+            println!(
+                "tree : {} nodes, height {}, max leaf {}, Σ|S| = {}, root |S| = {}",
+                tree.nodes().len(),
+                tree.height(),
+                tree.max_leaf_size(),
+                tree.total_separator_size(),
+                tree.node(0).separator.len()
+            );
+            let metrics = Metrics::new();
+            let pre = preprocess::<Tropical>(&g, &tree, args.algo, &metrics)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "E+   : {} shortcut edges; preprocessing {}",
+                pre.stats().eplus_edges,
+                metrics.report()
+            );
+        }
+        "tree" => {
+            if args.tree_out.is_none() {
+                return Err("tree command needs -o <out.st>".into());
+            }
+            let tree = obtain_tree(&g, &args)?;
+            println!(
+                "built decomposition: {} nodes, height {}",
+                tree.nodes().len(),
+                tree.height()
+            );
+        }
+        "sssp" => {
+            if args.source >= g.n() {
+                return Err(format!("source {} out of range", args.source));
+            }
+            let tree = obtain_tree(&g, &args)?;
+            let metrics = Metrics::new();
+            let pre = preprocess::<Tropical>(&g, &tree, args.algo, &metrics)
+                .map_err(|e| e.to_string())?;
+            let (dist, stats) = pre.distances_seq(args.source);
+            let reachable = dist.iter().filter(|d| d.is_finite()).count();
+            let max = dist
+                .iter()
+                .filter(|d| d.is_finite())
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            println!(
+                "sssp from {}: {} reachable of {}, max distance {:.6}, {} relaxations",
+                args.source,
+                reachable,
+                g.n(),
+                max,
+                stats.relaxations
+            );
+            if args.print_dists {
+                let mut out = String::new();
+                for (v, d) in dist.iter().enumerate() {
+                    use std::fmt::Write;
+                    if d.is_finite() {
+                        writeln!(out, "{v} {d}").unwrap();
+                    } else {
+                        writeln!(out, "{v} inf").unwrap();
+                    }
+                }
+                print!("{out}");
+            }
+        }
+        "reach" => {
+            if args.source >= g.n() {
+                return Err(format!("source {} out of range", args.source));
+            }
+            let tree = obtain_tree(&g, &args)?;
+            let metrics = Metrics::new();
+            let gb = g.map_weights(|_| true);
+            let pre = spsep::core::reach::preprocess_reach(&gb, &tree, &metrics);
+            let (row, _) = pre.distances_seq(args.source);
+            let count = row.iter().filter(|&&r| r).count();
+            println!("reach from {}: {} of {} vertices", args.source, count, g.n());
+            if args.print_dists {
+                let ids: Vec<String> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &r)| r)
+                    .map(|(v, _)| v.to_string())
+                    .collect();
+                println!("{}", ids.join(" "));
+            }
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

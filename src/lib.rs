@@ -1,0 +1,27 @@
+//! `spsep` — facade crate re-exporting the whole workspace.
+//!
+//! A faithful, parallel Rust implementation of
+//! *Efficient Parallel Shortest-Paths in Digraphs with a Separator
+//! Decomposition* (Edith Cohen, SPAA 1993 / J. Algorithms 21(2), 1996).
+//!
+//! Downstream users depend on this crate and get:
+//!
+//! * [`graph`] — digraphs, semirings, generators, bit-matrices;
+//! * [`separator`] — separator decomposition trees and builders;
+//! * [`core`] — the paper's algorithms: `E⁺` augmentation (Algorithms 4.1
+//!   and 4.3), the scheduled Bellman–Ford query engine, reachability;
+//! * [`baselines`] — Dijkstra/Bellman–Ford/Johnson/Floyd–Warshall for
+//!   comparison;
+//! * [`planar`] — the Section 6 few-faces pipeline;
+//! * [`tvpi`] — the difference-constraint application;
+//! * [`pram`] — work/depth accounting under the EREW PRAM cost model.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use spsep_baselines as baselines;
+pub use spsep_core as core;
+pub use spsep_graph as graph;
+pub use spsep_planar as planar;
+pub use spsep_pram as pram;
+pub use spsep_separator as separator;
+pub use spsep_tvpi as tvpi;

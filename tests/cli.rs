@@ -1,0 +1,131 @@
+//! End-to-end tests of the `spsep-cli` binary: build a graph file, run
+//! every subcommand, check outputs and exit codes.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spsep-cli"))
+}
+
+fn write_demo_graph(dir: &std::path::Path) -> std::path::PathBuf {
+    // A 4-cycle plus a chord, 1-based DIMACS.
+    let path = dir.join("demo.gr");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "c tiny demo").unwrap();
+    writeln!(f, "p sp 4 5").unwrap();
+    writeln!(f, "a 1 2 1.0").unwrap();
+    writeln!(f, "a 2 3 1.0").unwrap();
+    writeln!(f, "a 3 4 1.0").unwrap();
+    writeln!(f, "a 4 1 1.0").unwrap();
+    writeln!(f, "a 1 3 5.0").unwrap();
+    path
+}
+
+#[test]
+fn info_and_sssp() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+
+    let out = cli().arg("info").arg(&graph).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("n = 4"));
+    assert!(text.contains("E+"));
+
+    let out = cli()
+        .args(["sssp"])
+        .arg(&graph)
+        .args(["-s", "0", "--print-dists"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 reachable of 4"));
+    // dist(0→2) = 2 via the cycle, beating the chord weight 5.
+    assert!(text.lines().any(|l| l.trim() == "2 2"), "{text}");
+}
+
+#[test]
+fn tree_roundtrip_through_cli() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let tree = dir.join("demo.st");
+
+    let out = cli()
+        .arg("tree")
+        .arg(&graph)
+        .arg("-o")
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(tree.exists());
+
+    // Reuse the saved tree for a query with algorithm 4.4.
+    let out = cli()
+        .arg("sssp")
+        .arg(&graph)
+        .args(["-s", "1", "-a", "44", "-t"])
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 reachable"));
+}
+
+#[test]
+fn reach_and_centroid_builder() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let out = cli()
+        .arg("reach")
+        .arg(&graph)
+        .args(["-s", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 of 4"));
+
+    // Centroid builder on a path-shaped graph.
+    let path_graph = dir.join("path.gr");
+    let mut f = std::fs::File::create(&path_graph).unwrap();
+    writeln!(f, "p sp 5 8").unwrap();
+    for v in 1..5 {
+        writeln!(f, "a {} {} 1.0", v, v + 1).unwrap();
+        writeln!(f, "a {} {} 1.0", v + 1, v).unwrap();
+    }
+    drop(f);
+    let out = cli()
+        .arg("info")
+        .arg(&path_graph)
+        .args(["-b", "centroid"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn error_paths() {
+    let out = cli().arg("info").arg("/nonexistent.gr").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+
+    let dir = std::env::temp_dir().join("spsep-cli-test-4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let out = cli()
+        .arg("sssp")
+        .arg(&graph)
+        .args(["-s", "99"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    let out = cli().arg("bogus").arg(&graph).output().unwrap();
+    assert!(!out.status.success());
+}
