@@ -179,6 +179,62 @@ pub fn find_negative_cycle(g: &DiGraph<f64>, source: Option<usize>) -> Option<Ve
     Some(cycle)
 }
 
+/// Semiring-generic version of [`find_negative_cycle`]: extract a
+/// witness for an *absorbing* cycle (paper comment (i)) under any
+/// idempotent path algebra — a cycle along which relaxation never
+/// stabilizes. Returns the cycle's vertex sequence, or `None` when
+/// relaxation converges (no absorbing cycle).
+///
+/// Same CLR-style extraction as the tropical specialization: relax from
+/// a virtual super-source for `n + 1` rounds with parent-edge tracking;
+/// a vertex still improving in round `n` is downstream of the cycle,
+/// and `n` parent steps from it land inside it.
+pub fn find_absorbing_cycle_semiring<S: Semiring>(g: &DiGraph<S::W>) -> Option<Vec<u32>> {
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    let mut dist: Vec<S::W> = vec![S::one(); n]; // virtual super-source
+    let mut parent = vec![u32::MAX; n];
+    let mut witness = None;
+    for round in 0..=n {
+        let mut changed = false;
+        for (eid, e) in g.edges().iter().enumerate() {
+            let du = dist[e.from as usize];
+            if S::is_zero(du) {
+                continue;
+            }
+            let cand = S::extend(du, e.w);
+            let cur = dist[e.to as usize];
+            let merged = S::combine(cur, cand);
+            if merged != cur {
+                dist[e.to as usize] = merged;
+                parent[e.to as usize] = eid as u32;
+                changed = true;
+                if round == n {
+                    witness = Some(e.to as usize);
+                }
+            }
+        }
+        if !changed {
+            return None;
+        }
+    }
+    let mut v = witness?;
+    for _ in 0..n {
+        v = g.edge(parent[v] as usize).from as usize;
+    }
+    let start = v;
+    let mut cycle = vec![start as u32];
+    let mut cur = g.edge(parent[start] as usize).from as usize;
+    while cur != start {
+        cycle.push(cur as u32);
+        cur = g.edge(parent[cur] as usize).from as usize;
+    }
+    cycle.reverse();
+    Some(cycle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

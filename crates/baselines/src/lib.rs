@@ -22,7 +22,8 @@ pub mod reach;
 
 pub use apsp::{floyd_warshall_apsp, repeated_squaring_apsp};
 pub use bellman_ford::{
-    bellman_ford, bellman_ford_semiring, find_negative_cycle, parallel_bellman_ford,
+    bellman_ford, bellman_ford_semiring, find_absorbing_cycle_semiring,
+    find_negative_cycle, parallel_bellman_ford,
 };
 pub use dijkstra::{dijkstra, dijkstra_multi};
 pub use johnson::johnson;

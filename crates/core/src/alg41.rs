@@ -69,13 +69,20 @@ pub fn augment_leaves_up<S: Semiring>(
                 let out = if node.is_leaf() {
                     process_leaf::<S>(g, &tree.node(id).vertices, &ifaces[id as usize])
                 } else {
-                    let (c1, c2) = node.children.expect("internal node");
+                    let Some((c1, c2)) = node.children else {
+                        unreachable!("non-leaf node has children")
+                    };
+                    let (Some(m1), Some(m2)) =
+                        (mats[c1 as usize].as_deref(), mats[c2 as usize].as_deref())
+                    else {
+                        unreachable!("children processed before parent (BFS order)")
+                    };
                     process_internal::<S>(
                         &ifaces[id as usize],
                         &ifaces[c1 as usize],
-                        mats[c1 as usize].as_deref().expect("child processed"),
+                        m1,
                         &ifaces[c2 as usize],
-                        mats[c2 as usize].as_deref().expect("child processed"),
+                        m2,
                     )
                 };
                 (id, out)

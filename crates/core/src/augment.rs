@@ -51,7 +51,12 @@ impl Interface {
         let verts = sorted_union(&node.separator, &node.boundary);
         let pos = |set: &[u32]| {
             set.iter()
-                .map(|v| verts.binary_search(v).expect("member of union") as u32)
+                .map(|v| {
+                    verts
+                        .binary_search(v)
+                        .unwrap_or_else(|_| unreachable!("member of union"))
+                        as u32
+                })
                 .collect()
         };
         Interface {
@@ -154,9 +159,13 @@ pub fn leaf_iface_matrix<S: Semiring>(
     let m = iface.len();
     let mut mat = vec![S::zero(); m * m];
     for (a, &va) in iface.verts.iter().enumerate() {
-        let ia = vertices.binary_search(&va).expect("iface ⊆ V(leaf)");
+        let ia = vertices
+            .binary_search(&va)
+            .unwrap_or_else(|_| unreachable!("iface ⊆ V(leaf)"));
         for (b, &vb) in iface.verts.iter().enumerate() {
-            let ib = vertices.binary_search(&vb).expect("iface ⊆ V(leaf)");
+            let ib = vertices
+                .binary_search(&vb)
+                .unwrap_or_else(|_| unreachable!("iface ⊆ V(leaf)"));
             mat[a * m + b] = full.get(ia, ib);
         }
     }

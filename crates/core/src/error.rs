@@ -1,0 +1,9 @@
+//! The workspace-wide error taxonomy, re-exported at the pipeline layer.
+//!
+//! [`SpsepError`] is *defined* in `spsep_graph` (the root of the crate
+//! DAG, so that `spsep_separator` can also return it), but `spsep_core`
+//! is the crate users interact with, so the taxonomy is surfaced here
+//! too. See the [`spsep_graph::error`] module docs for the table mapping
+//! each variant to the paper invariant it guards.
+
+pub use spsep_graph::error::SpsepError;

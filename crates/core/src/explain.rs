@@ -72,17 +72,17 @@ impl<W: Copy + std::fmt::Debug> Explanation<W> {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(
+        // Writes into a String are infallible.
+        let _ = writeln!(
             out,
             "weight {:?} via {} hops (bound {}), bitonic section: {}",
             self.weight,
             self.hops.len(),
             self.size_bound,
             self.bitonic
-        )
-        .unwrap();
+        );
         for h in &self.hops {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "  {} →{} {}  w={:?}  level(to)={}",
                 h.from,
@@ -94,8 +94,7 @@ impl<W: Copy + std::fmt::Debug> Explanation<W> {
                 } else {
                     h.level_to.to_string()
                 }
-            )
-            .unwrap();
+            );
         }
         out
     }

@@ -1,0 +1,313 @@
+//! Graceful degradation: the separator-decomposition fast path when the
+//! instance supports it, classical baselines when it does not.
+//!
+//! [`preprocess`] is strict — a corrupted decomposition or an exceeded
+//! resource budget is an error. [`preprocess_or_fallback`] is the
+//! production entry point: the same failure *degrades* to Dijkstra (or
+//! Bellman–Ford when weights are negative) on the raw graph, with the
+//! decision recorded as a [`FallbackReason`] so operators can see *why*
+//! the fast path was skipped. Only genuinely unanswerable inputs —
+//! absorbing cycles, where distances do not exist (paper comment (i)) —
+//! remain hard errors on both paths.
+//!
+//! The budget knob measures the Theorem 5.1(iii) quantity
+//! `Σ_t |S(t)|² + |B(t)|²` ([`SepTree::eplus_candidate_size`]): the size
+//! of the `E⁺` candidate set, and hence a proxy for both preprocessing
+//! memory and work. A decomposition with huge separators (e.g. a
+//! near-complete graph handed to a grid builder) makes the fast path
+//! pointless — the paper's bounds assume `n^μ`-sized separators — so
+//! falling back is the *correct* move, not a concession.
+
+use crate::{preprocess, validate_instance, Algorithm, Preprocessed, SpsepError};
+use spsep_baselines::{bellman_ford, dijkstra, find_negative_cycle};
+use spsep_graph::semiring::Tropical;
+use spsep_graph::DiGraph;
+use spsep_pram::Metrics;
+use spsep_separator::SepTree;
+
+/// Why [`preprocess_or_fallback`] declined the fast path.
+///
+/// Not `Clone`: the `InvalidDecomposition` variant owns a full
+/// [`SpsepError`], which can wrap a (non-cloneable) `std::io::Error`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FallbackReason {
+    /// The decomposition failed pre-flight validation
+    /// ([`validate_instance`]); the underlying typed error is attached.
+    InvalidDecomposition(SpsepError),
+    /// The `E⁺` candidate set `Σ_t |S(t)|² + |B(t)|²` exceeds the
+    /// policy's budget (Theorem 5.1(iii) memory/work proxy).
+    BudgetExceeded {
+        /// Configured ceiling.
+        budget: usize,
+        /// What this decomposition would need.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::InvalidDecomposition(e) => {
+                write!(f, "decomposition failed validation: {e}")
+            }
+            FallbackReason::BudgetExceeded { budget, required } => write!(
+                f,
+                "E+ candidate set needs {required} entries, budget is {budget}"
+            ),
+        }
+    }
+}
+
+/// Tunables for [`preprocess_or_fallback`].
+#[derive(Clone, Debug)]
+pub struct FallbackPolicy {
+    /// Ceiling on [`SepTree::eplus_candidate_size`] before the fast path
+    /// is abandoned. `None` disables the budget check.
+    pub max_eplus_candidates: Option<usize>,
+    /// Which `E⁺` construction to run on the fast path.
+    pub algorithm: Algorithm,
+}
+
+impl Default for FallbackPolicy {
+    /// No budget ceiling, [`Algorithm::LeavesUp`].
+    fn default() -> Self {
+        FallbackPolicy {
+            max_eplus_candidates: None,
+            algorithm: Algorithm::default(),
+        }
+    }
+}
+
+enum PreparedKind {
+    Fast(Preprocessed<Tropical>),
+    Baseline {
+        nonnegative: bool,
+        reason: FallbackReason,
+    },
+}
+
+/// A query-ready instance: either a compiled fast path or a recorded
+/// fallback to the baselines. Obtained from [`preprocess_or_fallback`].
+pub struct Prepared<'a> {
+    graph: &'a DiGraph<f64>,
+    kind: PreparedKind,
+}
+
+impl Prepared<'_> {
+    /// `true` when the separator-decomposition fast path is active.
+    pub fn is_fast(&self) -> bool {
+        matches!(self.kind, PreparedKind::Fast(_))
+    }
+
+    /// Why the baseline is being used — `None` on the fast path.
+    pub fn fallback_reason(&self) -> Option<&FallbackReason> {
+        match &self.kind {
+            PreparedKind::Fast(_) => None,
+            PreparedKind::Baseline { reason, .. } => Some(reason),
+        }
+    }
+
+    /// The compiled fast path, when active (for schedule statistics,
+    /// shortest-path-tree recovery, etc.).
+    pub fn fast(&self) -> Option<&Preprocessed<Tropical>> {
+        match &self.kind {
+            PreparedKind::Fast(pre) => Some(pre),
+            PreparedKind::Baseline { .. } => None,
+        }
+    }
+
+    /// Single-source distances (`+∞` for unreachable vertices).
+    ///
+    /// Identical on both paths — that is the point: a caller that got a
+    /// `Prepared` never sees a wrong distance, only (possibly) a slower
+    /// one. Absorbing cycles were already ruled out when the instance
+    /// was prepared, so this cannot fail.
+    pub fn distances(&self, source: usize, metrics: &Metrics) -> Vec<f64> {
+        match &self.kind {
+            PreparedKind::Fast(pre) => pre.distances(source, metrics),
+            PreparedKind::Baseline { nonnegative, .. } => {
+                if *nonnegative {
+                    dijkstra(self.graph, source).dist
+                } else {
+                    let Ok(res) = bellman_ford(self.graph, source) else {
+                        unreachable!(
+                            "absorbing cycles are rejected by preprocess_or_fallback"
+                        )
+                    };
+                    res.dist
+                }
+            }
+        }
+    }
+}
+
+/// Prepare an instance for queries, degrading gracefully: run the
+/// Cohen pipeline when `tree` validates and fits `policy`'s budget,
+/// otherwise fall back to Dijkstra/Bellman–Ford on the raw graph with
+/// the reason recorded.
+///
+/// # Errors
+///
+/// [`SpsepError::AbsorbingCycle`] (with a witness cycle) when the graph
+/// contains a negative cycle — distances are undefined, so *neither*
+/// path can answer queries and falling back would be lying. All other
+/// fast-path failures degrade instead of erroring.
+pub fn preprocess_or_fallback<'a>(
+    g: &'a DiGraph<f64>,
+    tree: &SepTree,
+    policy: &FallbackPolicy,
+    metrics: &Metrics,
+) -> Result<Prepared<'a>, SpsepError> {
+    let reason = if let Some(budget) = policy.max_eplus_candidates {
+        let required = tree.eplus_candidate_size();
+        if required > budget {
+            Some(FallbackReason::BudgetExceeded { budget, required })
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let reason = match reason {
+        Some(r) => Some(r),
+        None => validate_instance(g, tree)
+            .err()
+            .map(FallbackReason::InvalidDecomposition),
+    };
+    match reason {
+        None => {
+            // Fast path. `preprocess` re-runs the (cheap) validation;
+            // any error besides an absorbing cycle is unreachable here.
+            let pre = preprocess::<Tropical>(g, tree, policy.algorithm, metrics)?;
+            Ok(Prepared {
+                graph: g,
+                kind: PreparedKind::Fast(pre),
+            })
+        }
+        Some(reason) => {
+            // Baseline path. Absorbing cycles must still be hard errors
+            // — mirroring what the fast path would have reported.
+            let nonnegative = g.edges().iter().all(|e| e.w >= 0.0);
+            if !nonnegative {
+                if let Some(witness) = find_negative_cycle(g, None) {
+                    return Err(SpsepError::AbsorbingCycle { witness });
+                }
+            }
+            Ok(Prepared {
+                graph: g,
+                kind: PreparedKind::Baseline { nonnegative, reason },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spsep_graph::Edge;
+    use spsep_separator::{builders, RecursionLimits};
+
+    fn grid_instance(dims: [usize; 2], seed: u64) -> (DiGraph<f64>, SepTree) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (g, _) = spsep_graph::generators::grid(&dims, &mut rng);
+        let tree = builders::grid_tree(&dims, RecursionLimits::default());
+        (g, tree)
+    }
+
+    #[test]
+    fn fast_path_matches_plain_preprocess() {
+        let (g, tree) = grid_instance([9, 8], 11);
+        let metrics = Metrics::new();
+        let prepared =
+            preprocess_or_fallback(&g, &tree, &FallbackPolicy::default(), &metrics).unwrap();
+        assert!(prepared.is_fast());
+        assert!(prepared.fallback_reason().is_none());
+        let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics)
+            .unwrap_or_else(|e| panic!("{e}"));
+        for s in [0, 7, g.n() - 1] {
+            assert_eq!(prepared.distances(s, &metrics), pre.distances(s, &metrics));
+        }
+    }
+
+    #[test]
+    fn invalid_decomposition_falls_back_and_matches_dijkstra() {
+        let (g, _) = grid_instance([9, 8], 12);
+        // A tree for the wrong graph size → pre-flight failure.
+        let tree = builders::grid_tree(&[4, 4], RecursionLimits::default());
+        let metrics = Metrics::new();
+        let prepared =
+            preprocess_or_fallback(&g, &tree, &FallbackPolicy::default(), &metrics).unwrap();
+        assert!(!prepared.is_fast());
+        assert!(matches!(
+            prepared.fallback_reason(),
+            Some(FallbackReason::InvalidDecomposition(
+                SpsepError::InvalidDecomposition { .. }
+            ))
+        ));
+        let dj = dijkstra(&g, 0);
+        assert_eq!(prepared.distances(0, &metrics), dj.dist);
+    }
+
+    #[test]
+    fn budget_exceeded_falls_back_with_recorded_sizes() {
+        let (g, tree) = grid_instance([9, 8], 13);
+        let required = tree.eplus_candidate_size();
+        assert!(required > 1);
+        let policy = FallbackPolicy {
+            max_eplus_candidates: Some(1),
+            ..FallbackPolicy::default()
+        };
+        let metrics = Metrics::new();
+        let prepared = preprocess_or_fallback(&g, &tree, &policy, &metrics).unwrap();
+        match prepared.fallback_reason() {
+            Some(&FallbackReason::BudgetExceeded {
+                budget,
+                required: rec,
+            }) => {
+                assert_eq!(budget, 1);
+                assert_eq!(rec, required);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Distances still correct.
+        let dj = dijkstra(&g, 3);
+        assert_eq!(prepared.distances(3, &metrics), dj.dist);
+    }
+
+    #[test]
+    fn negative_weights_fall_back_to_bellman_ford() {
+        let (g, _) = grid_instance([6, 6], 14);
+        // Negate one weight (acyclically: an edge out of vertex 0 kept
+        // small enough not to create a negative cycle).
+        let mut edges = g.edges().to_vec();
+        edges[0].w = -0.25;
+        let g = DiGraph::from_edges(g.n(), edges);
+        let tree = builders::grid_tree(&[4, 4], RecursionLimits::default()); // wrong size
+        let metrics = Metrics::new();
+        let prepared =
+            preprocess_or_fallback(&g, &tree, &FallbackPolicy::default(), &metrics).unwrap();
+        assert!(!prepared.is_fast());
+        let bf = bellman_ford(&g, 0).unwrap();
+        assert_eq!(prepared.distances(0, &metrics), bf.dist);
+    }
+
+    #[test]
+    fn absorbing_cycle_is_a_hard_error_even_when_falling_back() {
+        let (g, _) = grid_instance([5, 5], 15);
+        let e0 = g.edges()[0];
+        let mut edges = g.edges().to_vec();
+        edges.push(Edge::new(e0.to as usize, e0.from as usize, -1e6));
+        let g = DiGraph::from_edges(g.n(), edges);
+        let tree = builders::grid_tree(&[4, 4], RecursionLimits::default()); // wrong size
+        let metrics = Metrics::new();
+        match preprocess_or_fallback(&g, &tree, &FallbackPolicy::default(), &metrics) {
+            Err(SpsepError::AbsorbingCycle { witness }) => {
+                assert!(!witness.is_empty());
+            }
+            Ok(_) => panic!("negative cycle must not be answered"),
+            Err(other) => panic!("expected AbsorbingCycle, got {other:?}"),
+        }
+    }
+}

@@ -11,37 +11,19 @@
 //! ```
 //!
 //! Weights are written with full `f64` round-trip precision.
+//!
+//! Parsing is hardened: NaN/infinite weights, out-of-range endpoints,
+//! and header/line-count mismatches are rejected with line-numbered
+//! [`SpsepError::Parse`] errors.
 
 use crate::augment::{AugmentStats, Augmentation};
 use spsep_graph::semiring::Tropical;
-use spsep_graph::Edge;
+use spsep_graph::{Edge, SpsepError};
 use std::io::{BufRead, Write};
 
-/// Error from [`read_augmentation`].
-#[derive(Debug)]
-pub enum ParseError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// Structural problem.
-    Format(String),
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ParseError::Io(e) => write!(f, "io error: {e}"),
-            ParseError::Format(m) => write!(f, "format error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<std::io::Error> for ParseError {
-    fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
-    }
-}
+/// Error from [`read_augmentation`] (alias kept for callers of the
+/// pre-taxonomy API).
+pub type ParseError = SpsepError;
 
 /// Serialize a tropical augmentation (`n` is the graph's vertex count,
 /// needed for validation at load time).
@@ -52,7 +34,8 @@ pub fn write_augmentation<W: Write>(
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let mut buf = String::new();
-    writeln!(
+    // Writes into a String are infallible.
+    let _ = writeln!(
         buf,
         "ep {} {} {} {} {}",
         n,
@@ -60,33 +43,35 @@ pub fn write_augmentation<W: Write>(
         aug.stats.d_g,
         aug.stats.leaf_bound,
         aug.stats.raw_pairs
-    )
-    .unwrap();
+    );
     for e in &aug.eplus {
         // `{:?}` prints f64 with round-trip precision.
-        writeln!(buf, "e {} {} {:?}", e.from, e.to, e.w).unwrap();
+        let _ = writeln!(buf, "e {} {} {:?}", e.from, e.to, e.w);
     }
     out.write_all(buf.as_bytes())
 }
 
 /// Parse an augmentation previously written by [`write_augmentation`];
 /// returns `(n, augmentation)`.
-pub fn read_augmentation<R: BufRead>(input: R) -> Result<(usize, Augmentation<Tropical>), ParseError> {
+pub fn read_augmentation<R: BufRead>(
+    input: R,
+) -> Result<(usize, Augmentation<Tropical>), SpsepError> {
     let mut lines = input.lines();
     let header = lines
         .next()
-        .ok_or_else(|| ParseError::Format("empty input".into()))??;
+        .ok_or_else(|| SpsepError::parse("empty input"))??;
     let mut parts = header.split_whitespace();
     if parts.next() != Some("ep") {
-        return Err(ParseError::Format("missing 'ep' header".into()));
+        return Err(SpsepError::parse_at(1, "missing 'ep' header"));
     }
-    let n: usize = field(parts.next(), "n")?;
-    let num_edges: usize = field(parts.next(), "edge count")?;
-    let d_g: u32 = field(parts.next(), "d_g")?;
-    let leaf_bound: usize = field(parts.next(), "leaf bound")?;
-    let raw_pairs: usize = field(parts.next(), "raw pairs")?;
-    let mut eplus: Vec<Edge<f64>> = Vec::with_capacity(num_edges);
-    for line in lines {
+    let n: usize = field(parts.next(), 1, "n")?;
+    let num_edges: usize = field(parts.next(), 1, "edge count")?;
+    let d_g: u32 = field(parts.next(), 1, "d_g")?;
+    let leaf_bound: usize = field(parts.next(), 1, "leaf bound")?;
+    let raw_pairs: usize = field(parts.next(), 1, "raw pairs")?;
+    let mut eplus: Vec<Edge<f64>> = Vec::with_capacity(num_edges.min(1 << 24));
+    for (off, line) in lines.enumerate() {
+        let lineno = off + 2; // 1-based; header was line 1
         let line = line?;
         let line = line.trim();
         if line.is_empty() {
@@ -94,20 +79,24 @@ pub fn read_augmentation<R: BufRead>(input: R) -> Result<(usize, Augmentation<Tr
         }
         let mut parts = line.split_whitespace();
         if parts.next() != Some("e") {
-            return Err(ParseError::Format("expected 'e' record".into()));
+            return Err(SpsepError::parse_at(lineno, "expected 'e' record"));
         }
-        let from: usize = field(parts.next(), "from")?;
-        let to: usize = field(parts.next(), "to")?;
-        let w: f64 = field(parts.next(), "weight")?;
+        let from: usize = field(parts.next(), lineno, "from")?;
+        let to: usize = field(parts.next(), lineno, "to")?;
+        let w: f64 = field(parts.next(), lineno, "weight")?;
+        if w.is_nan() {
+            return Err(SpsepError::parse_at(lineno, "shortcut weight is NaN"));
+        }
         if from >= n || to >= n {
-            return Err(ParseError::Format(format!(
-                "edge {from}→{to} out of range 0..{n}"
-            )));
+            return Err(SpsepError::parse_at(
+                lineno,
+                format!("edge {from}→{to} out of range 0..{n}"),
+            ));
         }
         eplus.push(Edge::new(from, to, w));
     }
     if eplus.len() != num_edges {
-        return Err(ParseError::Format(format!(
+        return Err(SpsepError::parse(format!(
             "declared {num_edges} edges, found {}",
             eplus.len()
         )));
@@ -121,10 +110,14 @@ pub fn read_augmentation<R: BufRead>(input: R) -> Result<(usize, Augmentation<Tr
     Ok((n, Augmentation { eplus, stats }))
 }
 
-fn field<T: std::str::FromStr>(f: Option<&str>, what: &str) -> Result<T, ParseError> {
-    f.ok_or_else(|| ParseError::Format(format!("missing {what}")))?
-        .parse()
-        .map_err(|_| ParseError::Format(format!("bad {what}")))
+fn field<T: std::str::FromStr>(
+    f: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, SpsepError> {
+    let raw = f.ok_or_else(|| SpsepError::parse_at(lineno, format!("missing {what}")))?;
+    raw.parse()
+        .map_err(|_| SpsepError::parse_at(lineno, format!("bad {what} '{raw}'")))
 }
 
 #[cfg(test)]
@@ -168,5 +161,24 @@ mod tests {
         assert!(read_augmentation("ep 2 1 0 0 0\nq 0 1 1.0\n".as_bytes()).is_err()); // record
         let ok = read_augmentation("ep 2 1 1 1 4\ne 0 1 2.5\n".as_bytes()).unwrap();
         assert_eq!(ok.1.eplus[0].w, 2.5);
+    }
+
+    #[test]
+    fn parse_errors_are_typed_and_line_numbered() {
+        // NaN weight on the first edge line → line 2.
+        assert!(matches!(
+            read_augmentation("ep 2 1 0 0 0\ne 0 1 NaN\n".as_bytes()),
+            Err(SpsepError::Parse { line: Some(2), .. })
+        ));
+        // Bad header field.
+        assert!(matches!(
+            read_augmentation("ep x 1 0 0 0\n".as_bytes()),
+            Err(SpsepError::Parse { line: Some(1), .. })
+        ));
+        // Out-of-range endpoint reports its line.
+        assert!(matches!(
+            read_augmentation("ep 2 2 0 0 0\ne 0 1 1.0\ne 5 1 1.0\n".as_bytes()),
+            Err(SpsepError::Parse { line: Some(3), .. })
+        ));
     }
 }

@@ -54,14 +54,15 @@ pub fn augment_reach_leaves_up(
                 let (mat, ops) = if node.is_leaf() {
                     leaf_closure(g, &node.vertices, iface)
                 } else {
-                    let (c1, c2) = node.children.expect("internal");
-                    internal_closure(
-                        iface,
-                        &ifaces[c1 as usize],
-                        mats[c1 as usize].as_ref().expect("child done"),
-                        &ifaces[c2 as usize],
-                        mats[c2 as usize].as_ref().expect("child done"),
-                    )
+                    let Some((c1, c2)) = node.children else {
+                        unreachable!("non-leaf node has children")
+                    };
+                    let (Some(m1), Some(m2)) =
+                        (mats[c1 as usize].as_ref(), mats[c2 as usize].as_ref())
+                    else {
+                        unreachable!("children processed before parent (BFS order)")
+                    };
+                    internal_closure(iface, &ifaces[c1 as usize], m1, &ifaces[c2 as usize], m2)
                 };
                 let (edges, raw) = emit_bool(iface, &mat);
                 (id, mat, edges, raw, ops)
@@ -140,9 +141,13 @@ fn leaf_closure(g: &DiGraph<bool>, vertices: &[u32], iface: &Interface) -> (BitM
     let m = iface.len();
     let mut mat = BitMatrix::zeros(m, m);
     for (a, &va) in iface.verts.iter().enumerate() {
-        let ia = vertices.binary_search(&va).expect("iface ⊆ V(leaf)");
+        let ia = vertices
+            .binary_search(&va)
+            .unwrap_or_else(|_| unreachable!("iface ⊆ V(leaf)"));
         for (b, &vb) in iface.verts.iter().enumerate() {
-            let ib = vertices.binary_search(&vb).expect("iface ⊆ V(leaf)");
+            let ib = vertices
+                .binary_search(&vb)
+                .unwrap_or_else(|_| unreachable!("iface ⊆ V(leaf)"));
             if closure.get(ia, ib) {
                 mat.set(a, b, true);
             }

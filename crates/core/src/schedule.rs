@@ -52,7 +52,12 @@ impl<W: Copy> Bucket<W> {
         let mut sources: Vec<u32> = raw.iter().map(|&(f, _, _, _)| f).collect();
         sources.sort_unstable();
         sources.dedup();
-        let slot_of = |v: u32| sources.binary_search(&v).expect("source present") as u32;
+        let slot_of = |v: u32| {
+            sources
+                .binary_search(&v)
+                .unwrap_or_else(|_| unreachable!("source present"))
+                as u32
+        };
         let mut groups = Vec::new();
         let mut arcs = Vec::with_capacity(raw.len());
         let mut i = 0;
@@ -135,8 +140,10 @@ impl<S: Semiring> Schedule<S> {
         }
         for (i, e) in eplus.iter().enumerate() {
             let id = (base.len() + i) as u32;
-            let b = classify(levels[e.from as usize], levels[e.to as usize], d_g)
-                .expect("shortcut endpoints always have defined levels");
+            let Some(b) = classify(levels[e.from as usize], levels[e.to as usize], d_g)
+            else {
+                unreachable!("shortcut endpoints always have defined levels")
+            };
             raw[b].push((e.from, e.to, id, e.w));
         }
         let buckets: Vec<Bucket<S::W>> = raw.into_iter().map(Bucket::build).collect();

@@ -9,49 +9,34 @@
 //! ```
 //!
 //! Lets experiment inputs be checked in, regenerated, and diffed.
+//!
+//! Parsing is hardened: NaN and infinite weights, out-of-range vertex
+//! ids, and header/line-count mismatches are rejected with
+//! line-numbered [`SpsepError::Parse`] errors — a malformed file can
+//! never panic the caller or silently produce a wrong graph.
 
 use crate::digraph::{DiGraph, Edge};
+use crate::error::SpsepError;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 
-/// Error produced while parsing a DIMACS-style graph.
-#[derive(Debug)]
-pub enum ParseError {
-    /// I/O failure of the underlying reader.
-    Io(std::io::Error),
-    /// Structural problem, with a human-readable description.
-    Format(String),
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ParseError::Io(e) => write!(f, "io error: {e}"),
-            ParseError::Format(msg) => write!(f, "format error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<std::io::Error> for ParseError {
-    fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
-    }
-}
+/// Error produced while parsing a DIMACS-style graph (alias kept for
+/// callers of the pre-taxonomy API).
+pub type ParseError = SpsepError;
 
 /// Serialize `g` in DIMACS `sp` format.
 pub fn write_dimacs<Wr: Write>(g: &DiGraph<f64>, out: &mut Wr) -> std::io::Result<()> {
     let mut buf = String::new();
-    writeln!(buf, "p sp {} {}", g.n(), g.m()).unwrap();
+    // Writes into a String are infallible.
+    let _ = writeln!(buf, "p sp {} {}", g.n(), g.m());
     for e in g.edges() {
-        writeln!(buf, "a {} {} {}", e.from + 1, e.to + 1, e.w).unwrap();
+        let _ = writeln!(buf, "a {} {} {}", e.from + 1, e.to + 1, e.w);
     }
     out.write_all(buf.as_bytes())
 }
 
 /// Parse a DIMACS `sp` graph.
-pub fn read_dimacs<R: BufRead>(input: R) -> Result<DiGraph<f64>, ParseError> {
+pub fn read_dimacs<R: BufRead>(input: R) -> Result<DiGraph<f64>, SpsepError> {
     let mut n: Option<usize> = None;
     let mut declared_m = 0usize;
     let mut edges: Vec<Edge<f64>> = Vec::new();
@@ -64,46 +49,52 @@ pub fn read_dimacs<R: BufRead>(input: R) -> Result<DiGraph<f64>, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("p") => {
+                if n.is_some() {
+                    return Err(SpsepError::parse_at(lineno + 1, "duplicate problem line"));
+                }
                 if parts.next() != Some("sp") {
-                    return Err(ParseError::Format(format!(
-                        "line {}: expected 'p sp'",
-                        lineno + 1
-                    )));
+                    return Err(SpsepError::parse_at(lineno + 1, "expected 'p sp'"));
                 }
                 let nv: usize = parse_field(parts.next(), lineno, "vertex count")?;
                 declared_m = parse_field(parts.next(), lineno, "edge count")?;
                 n = Some(nv);
-                edges.reserve(declared_m);
+                // Guard the reserve against absurd declared counts on
+                // truncated/corrupted headers.
+                edges.reserve(declared_m.min(1 << 24));
             }
             Some("a") => {
                 let n = n.ok_or_else(|| {
-                    ParseError::Format(format!("line {}: arc before problem line", lineno + 1))
+                    SpsepError::parse_at(lineno + 1, "arc before problem line")
                 })?;
                 let from: usize = parse_field(parts.next(), lineno, "arc source")?;
                 let to: usize = parse_field(parts.next(), lineno, "arc target")?;
                 let w: f64 = parse_field(parts.next(), lineno, "arc weight")?;
-                if from == 0 || to == 0 || from > n || to > n {
-                    return Err(ParseError::Format(format!(
-                        "line {}: vertex id out of range 1..={}",
+                if !w.is_finite() {
+                    return Err(SpsepError::parse_at(
                         lineno + 1,
-                        n
-                    )));
+                        format!("arc weight '{w}' is not finite"),
+                    ));
+                }
+                if from == 0 || to == 0 || from > n || to > n {
+                    return Err(SpsepError::parse_at(
+                        lineno + 1,
+                        format!("vertex id out of range 1..={n}"),
+                    ));
                 }
                 edges.push(Edge::new(from - 1, to - 1, w));
             }
             Some(other) => {
-                return Err(ParseError::Format(format!(
-                    "line {}: unknown record '{}'",
+                return Err(SpsepError::parse_at(
                     lineno + 1,
-                    other
-                )));
+                    format!("unknown record '{other}'"),
+                ));
             }
             None => {}
         }
     }
-    let n = n.ok_or_else(|| ParseError::Format("missing problem line".into()))?;
+    let n = n.ok_or_else(|| SpsepError::parse("missing problem line"))?;
     if edges.len() != declared_m {
-        return Err(ParseError::Format(format!(
+        return Err(SpsepError::parse(format!(
             "declared {} arcs but found {}",
             declared_m,
             edges.len()
@@ -116,11 +107,11 @@ fn parse_field<T: std::str::FromStr>(
     field: Option<&str>,
     lineno: usize,
     what: &str,
-) -> Result<T, ParseError> {
-    field
-        .ok_or_else(|| ParseError::Format(format!("line {}: missing {}", lineno + 1, what)))?
-        .parse()
-        .map_err(|_| ParseError::Format(format!("line {}: bad {}", lineno + 1, what)))
+) -> Result<T, SpsepError> {
+    let raw =
+        field.ok_or_else(|| SpsepError::parse_at(lineno + 1, format!("missing {what}")))?;
+    raw.parse()
+        .map_err(|_| SpsepError::parse_at(lineno + 1, format!("bad {what} '{raw}'")))
 }
 
 #[cfg(test)]
@@ -162,5 +153,32 @@ mod tests {
         assert!(read_dimacs("p sp 2 2\na 1 2 1.0\n".as_bytes()).is_err()); // count
         assert!(read_dimacs("q sp 2 1\n".as_bytes()).is_err()); // record
         assert!(read_dimacs("p sp 2 1\na 1 2 abc\n".as_bytes()).is_err()); // weight
+    }
+
+    #[test]
+    fn hardened_rejections_are_typed_and_line_numbered() {
+        // NaN and infinite weights.
+        for bad in ["NaN", "nan", "inf", "-inf"] {
+            let text = format!("p sp 2 1\na 1 2 {bad}\n");
+            match read_dimacs(text.as_bytes()) {
+                Err(SpsepError::Parse { line: Some(2), .. }) => {}
+                other => panic!("weight {bad}: expected Parse at line 2, got {other:?}"),
+            }
+        }
+        // Duplicate problem line.
+        assert!(matches!(
+            read_dimacs("p sp 2 0\np sp 3 0\n".as_bytes()),
+            Err(SpsepError::Parse { line: Some(2), .. })
+        ));
+        // Out-of-range id reports its line.
+        assert!(matches!(
+            read_dimacs("p sp 2 1\nc pad\na 1 99 1.0\n".as_bytes()),
+            Err(SpsepError::Parse { line: Some(3), .. })
+        ));
+        // Count mismatch (no single line to blame).
+        assert!(matches!(
+            read_dimacs("p sp 2 5\na 1 2 1.0\n".as_bytes()),
+            Err(SpsepError::Parse { line: None, .. })
+        ));
     }
 }

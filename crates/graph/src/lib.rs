@@ -20,9 +20,15 @@
 //!   substrate `M(r)`;
 //! * [`traversal`], [`unionfind`], [`io`] — supporting utilities.
 
+// Library code must stay panic-free on untrusted input: unwraps and
+// expects are confined to #[cfg(test)] code (internal invariants use
+// let-else + unreachable!, which documents *why* they cannot fire).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bitmatrix;
 pub mod dense;
 pub mod digraph;
+pub mod error;
 pub mod generators;
 pub mod io;
 pub mod semiring;
@@ -32,4 +38,5 @@ pub mod unionfind;
 pub use bitmatrix::BitMatrix;
 pub use dense::SemiMatrix;
 pub use digraph::{DiGraph, Edge};
+pub use error::SpsepError;
 pub use semiring::{Boolean, Bottleneck, MaxPlus, Reliability, Semiring, Tropical, TropicalInt};

@@ -130,7 +130,10 @@ pub fn tarjan_scc<W: Copy>(g: &DiGraph<W>) -> (Vec<u32>, usize) {
                 }
                 if lowlink[v] == index[v] {
                     loop {
-                        let w = stack.pop().expect("tarjan stack underflow") as usize;
+                        let Some(w) = stack.pop() else {
+                            unreachable!("tarjan stack underflow")
+                        };
+                        let w = w as usize;
                         on_stack[w] = false;
                         comp[w] = next_comp;
                         if w == v {

@@ -287,7 +287,9 @@ fn bfs_finder(sub: &SubProblem) -> Separation {
         }
         below += sep;
     }
-    let (_, _, l) = best.expect("max_level >= 2 guarantees an interior level");
+    let Some((_, _, l)) = best else {
+        unreachable!("max_level >= 2 guarantees an interior level")
+    };
     let mut separator = Vec::new();
     let mut side1 = Vec::new();
     let mut side2 = Vec::new();

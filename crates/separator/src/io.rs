@@ -18,52 +18,40 @@
 //!
 //! Nodes appear in BFS order (parents before children), matching the
 //! in-memory layout.
+//!
+//! Parsing is hardened: out-of-range vertex ids, header/node-count
+//! mismatches, broken parent order, and wrong child arity are rejected
+//! with line-numbered [`SpsepError::Parse`] errors. Note that
+//! [`read_tree`] checks only what the *format* promises — a parsed tree
+//! can still violate the Prop. 2.1 separation invariants against a
+//! particular graph, which [`SepTree::validate`] reports as
+//! [`SpsepError::InvalidDecomposition`].
 
 use crate::tree::{sorted_union, SepNode, SepTree};
+use spsep_graph::SpsepError;
 use std::io::{BufRead, Write};
 
-/// Error from [`read_tree`].
-#[derive(Debug)]
-pub enum ParseError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// Structural problem.
-    Format(String),
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ParseError::Io(e) => write!(f, "io error: {e}"),
-            ParseError::Format(m) => write!(f, "format error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<std::io::Error> for ParseError {
-    fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
-    }
-}
+/// Error produced while parsing a serialized tree (alias kept for
+/// callers of the pre-taxonomy API).
+pub type ParseError = SpsepError;
 
 /// Serialize `tree`.
 pub fn write_tree<W: Write>(tree: &SepTree, out: &mut W) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let mut buf = String::new();
-    writeln!(buf, "st {} {}", tree.n(), tree.nodes().len()).unwrap();
+    // Writes into a String are infallible.
+    let _ = writeln!(buf, "st {} {}", tree.n(), tree.nodes().len());
     for node in tree.nodes() {
         let parent = node.parent.map_or(-1i64, |p| p as i64);
         if node.is_leaf() {
-            write!(buf, "l {parent} v").unwrap();
+            let _ = write!(buf, "l {parent} v");
             for &v in &node.vertices {
-                write!(buf, " {v}").unwrap();
+                let _ = write!(buf, " {v}");
             }
         } else {
-            write!(buf, "i {parent} s").unwrap();
+            let _ = write!(buf, "i {parent} s");
             for &v in &node.separator {
-                write!(buf, " {v}").unwrap();
+                let _ = write!(buf, " {v}");
             }
         }
         buf.push('\n');
@@ -72,24 +60,28 @@ pub fn write_tree<W: Write>(tree: &SepTree, out: &mut W) -> std::io::Result<()> 
 }
 
 /// Parse a tree previously written by [`write_tree`].
-pub fn read_tree<R: BufRead>(input: R) -> Result<SepTree, ParseError> {
+pub fn read_tree<R: BufRead>(input: R) -> Result<SepTree, SpsepError> {
     let mut lines = input.lines();
     let header = lines
         .next()
-        .ok_or_else(|| ParseError::Format("empty input".into()))??;
+        .ok_or_else(|| SpsepError::parse("empty input"))??;
     let mut parts = header.split_whitespace();
     if parts.next() != Some("st") {
-        return Err(ParseError::Format("missing 'st' header".into()));
+        return Err(SpsepError::parse_at(1, "missing 'st' header"));
     }
-    let n: usize = parse(parts.next(), "vertex count")?;
-    let num_nodes: usize = parse(parts.next(), "node count")?;
+    let n: usize = parse(parts.next(), 1, "vertex count")?;
+    let num_nodes: usize = parse(parts.next(), 1, "node count")?;
+    if num_nodes == 0 {
+        return Err(SpsepError::parse_at(1, "tree must have at least one node"));
+    }
     struct RawNode {
         parent: i64,
         leaf: bool,
         ids: Vec<u32>,
     }
-    let mut raw: Vec<RawNode> = Vec::with_capacity(num_nodes);
-    for line in lines {
+    let mut raw: Vec<RawNode> = Vec::with_capacity(num_nodes.min(1 << 24));
+    for (off, line) in lines.enumerate() {
+        let lineno = off + 2; // 1-based; header was line 1
         let line = line?;
         let line = line.trim();
         if line.is_empty() {
@@ -101,28 +93,34 @@ pub fn read_tree<R: BufRead>(input: R) -> Result<SepTree, ParseError> {
             "l" => true,
             "i" => false,
             other => {
-                return Err(ParseError::Format(format!("unknown record '{other}'")));
+                return Err(SpsepError::parse_at(
+                    lineno,
+                    format!("unknown record '{other}'"),
+                ));
             }
         };
-        let parent: i64 = parse(parts.next(), "parent")?;
+        let parent: i64 = parse(parts.next(), lineno, "parent")?;
         let tag = parts.next();
         if (leaf && tag != Some("v")) || (!leaf && tag != Some("s")) {
-            return Err(ParseError::Format("bad node tag".into()));
+            return Err(SpsepError::parse_at(lineno, "bad node tag"));
         }
         let mut ids = Vec::new();
         for p in parts {
-            let v: u32 = p
-                .parse()
-                .map_err(|_| ParseError::Format(format!("bad vertex id '{p}'")))?;
+            let v: u32 = p.parse().map_err(|_| {
+                SpsepError::parse_at(lineno, format!("bad vertex id '{p}'"))
+            })?;
             if v as usize >= n {
-                return Err(ParseError::Format(format!("vertex {v} out of range")));
+                return Err(SpsepError::parse_at(
+                    lineno,
+                    format!("vertex {v} out of range 0..{n}"),
+                ));
             }
             ids.push(v);
         }
         raw.push(RawNode { parent, leaf, ids });
     }
     if raw.len() != num_nodes {
-        return Err(ParseError::Format(format!(
+        return Err(SpsepError::parse(format!(
             "declared {num_nodes} nodes, found {}",
             raw.len()
         )));
@@ -134,12 +132,16 @@ pub fn read_tree<R: BufRead>(input: R) -> Result<SepTree, ParseError> {
         if r.parent >= 0 {
             let p = r.parent as usize;
             if p >= i {
-                return Err(ParseError::Format(format!(
+                return Err(SpsepError::parse(format!(
                     "node {i}: parent {p} not before child (need BFS order)"
                 )));
             }
             children[p].push(i as u32);
             level[i] = level[p] + 1;
+        } else if i != 0 {
+            return Err(SpsepError::parse(format!(
+                "node {i}: only node 0 may be the root"
+            )));
         }
     }
     // Reconstruct V(t) bottom-up.
@@ -147,13 +149,14 @@ pub fn read_tree<R: BufRead>(input: R) -> Result<SepTree, ParseError> {
     for i in (0..num_nodes).rev() {
         if raw[i].leaf {
             if !children[i].is_empty() {
-                return Err(ParseError::Format(format!("leaf {i} has children")));
+                return Err(SpsepError::parse(format!("leaf {i} has children")));
             }
             vertices[i] = raw[i].ids.clone();
             vertices[i].sort_unstable();
+            vertices[i].dedup();
         } else {
             if children[i].len() != 2 {
-                return Err(ParseError::Format(format!(
+                return Err(SpsepError::parse(format!(
                     "internal node {i} has {} children (need 2)",
                     children[i].len()
                 )));
@@ -181,14 +184,17 @@ pub fn read_tree<R: BufRead>(input: R) -> Result<SepTree, ParseError> {
             level: level[i],
         })
         .collect();
-    Ok(SepTree::assemble(n, nodes))
+    SepTree::try_assemble(n, nodes)
 }
 
-fn parse<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, ParseError> {
-    field
-        .ok_or_else(|| ParseError::Format(format!("missing {what}")))?
-        .parse()
-        .map_err(|_| ParseError::Format(format!("bad {what}")))
+fn parse<T: std::str::FromStr>(
+    field: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, SpsepError> {
+    let raw = field.ok_or_else(|| SpsepError::parse_at(lineno, format!("missing {what}")))?;
+    raw.parse()
+        .map_err(|_| SpsepError::parse_at(lineno, format!("bad {what} '{raw}'")))
 }
 
 #[cfg(test)]
@@ -241,9 +247,34 @@ mod tests {
         assert!(read_tree("st 3 2\nl -1 v 0 1 2\n".as_bytes()).is_err()); // count
         assert!(read_tree("st 3 1\nl -1 v 9\n".as_bytes()).is_err()); // range
         assert!(read_tree("st 3 1\nl -1 s 0\n".as_bytes()).is_err()); // tag
+        assert!(read_tree("st 3 0\n".as_bytes()).is_err()); // no nodes
         // Minimal valid single-leaf tree.
         let t = read_tree("st 3 1\nl -1 v 0 1 2\n".as_bytes()).unwrap();
         assert_eq!(t.nodes().len(), 1);
         assert_eq!(t.max_leaf_size(), 3);
+    }
+
+    #[test]
+    fn parse_errors_are_typed_and_line_numbered() {
+        // Bad id on the second node line → line 3.
+        assert!(matches!(
+            read_tree("st 5 3\ni -1 s 2\nl 0 v 0 1 x\nl 0 v 2 3 4\n".as_bytes()),
+            Err(SpsepError::Parse { line: Some(3), .. })
+        ));
+        // Two roots.
+        assert!(matches!(
+            read_tree("st 3 2\nl -1 v 0 1\nl -1 v 2\n".as_bytes()),
+            Err(SpsepError::Parse { .. })
+        ));
+        // Parent after child (BFS order violated).
+        assert!(matches!(
+            read_tree("st 3 2\nl 1 v 0 1 2\ni -1 s 0\n".as_bytes()),
+            Err(SpsepError::Parse { .. })
+        ));
+        // Internal node with a single child.
+        assert!(matches!(
+            read_tree("st 3 2\ni -1 s 0\nl 0 v 0 1 2\n".as_bytes()),
+            Err(SpsepError::Parse { .. })
+        ));
     }
 }

@@ -30,6 +30,11 @@
 //! [`SepTree::validate`] checks every structural invariant (Prop. 2.1 of
 //! the paper) and is exercised by the property tests.
 
+// Library code must stay panic-free on untrusted input: unwraps and
+// expects are confined to #[cfg(test)] code (internal invariants use
+// let-else + unreachable!, which documents *why* they cannot fire).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod builders;
 pub mod engine;
 pub mod io;

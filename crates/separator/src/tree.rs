@@ -1,5 +1,7 @@
 //! The [`SepTree`] data structure: nodes, boundaries, levels, validation.
 
+use spsep_graph::SpsepError;
+
 /// Index of a node within a [`SepTree`].
 pub type NodeId = u32;
 
@@ -61,6 +63,11 @@ impl SepTree {
     /// vertex maps.
     ///
     /// `n` is the number of vertices of the underlying graph.
+    ///
+    /// Panics if `nodes` is empty or any child/parent/vertex id is out
+    /// of range — builders guarantee these preconditions. Untrusted
+    /// node lists (deserialized or fault-injected) should go through
+    /// [`SepTree::try_assemble`] instead.
     pub fn assemble(n: usize, nodes: Vec<SepNode>) -> SepTree {
         assert!(!nodes.is_empty(), "tree must have a root");
         // Reorder nodes breadth-first.
@@ -134,6 +141,47 @@ impl SepTree {
             height,
             max_leaf_size,
         }
+    }
+
+    /// Index-safe variant of [`SepTree::assemble`] for untrusted node
+    /// lists: verifies that the list is nonempty and that every
+    /// child/parent link and vertex id is in range **before** assembly,
+    /// reporting violations as [`SpsepError::InvalidDecomposition`]
+    /// instead of panicking. Structural (Prop. 2.1) invariants are
+    /// still checked separately by [`SepTree::validate`].
+    pub fn try_assemble(n: usize, nodes: Vec<SepNode>) -> Result<SepTree, SpsepError> {
+        if nodes.is_empty() {
+            return Err(SpsepError::invalid_decomposition("tree must have a root"));
+        }
+        let len = nodes.len();
+        for (i, t) in nodes.iter().enumerate() {
+            if let Some((a, b)) = t.children {
+                if a as usize >= len || b as usize >= len {
+                    return Err(SpsepError::invalid_node(
+                        i as u32,
+                        format!("child id out of range 0..{len}"),
+                    ));
+                }
+            }
+            if let Some(p) = t.parent {
+                if p as usize >= len {
+                    return Err(SpsepError::invalid_node(
+                        i as u32,
+                        format!("parent id out of range 0..{len}"),
+                    ));
+                }
+            }
+            for &v in t.vertices.iter().chain(&t.separator).chain(&t.boundary) {
+                if v as usize >= n {
+                    return Err(SpsepError::invalid_node_vertex(
+                        i as u32,
+                        v,
+                        format!("vertex id out of range 0..{n}"),
+                    ));
+                }
+            }
+        }
+        Ok(SepTree::assemble(n, nodes))
     }
 
     /// Number of vertices of the underlying graph.
@@ -218,63 +266,94 @@ impl SepTree {
     /// 4. Prop 2.1(ii): no edge leaves `V(t) \ B(t)` for the subgraph of
     ///    any node `t`;
     /// 5. every vertex's `node(v)`/`level(v)` is consistent.
-    pub fn validate(&self, adj: &[Vec<u32>]) -> Result<(), String> {
+    ///
+    /// Violations are reported as
+    /// [`SpsepError::InvalidDecomposition`] with the offending node and
+    /// vertex attached, so a corrupted tree surfaces as a typed error
+    /// instead of a panic or a silently wrong distance downstream.
+    pub fn validate(&self, adj: &[Vec<u32>]) -> Result<(), SpsepError> {
         let n = self.n;
         if adj.len() != n {
-            return Err(format!("skeleton has {} vertices, tree has {n}", adj.len()));
+            return Err(SpsepError::invalid_decomposition(format!(
+                "skeleton has {} vertices, tree has {n}",
+                adj.len()
+            )));
+        }
+        for (v, neigh) in adj.iter().enumerate() {
+            if let Some(&u) = neigh.iter().find(|&&u| u as usize >= n) {
+                return Err(SpsepError::invalid_vertex(
+                    v as u32,
+                    format!("skeleton neighbor {u} out of range 0..{n}"),
+                ));
+            }
         }
         let root = &self.nodes[0];
         if root.vertices.len() != n || root.vertices.iter().enumerate().any(|(i, &v)| v != i as u32)
         {
-            return Err("root must contain exactly 0..n".into());
+            return Err(SpsepError::invalid_node(0, "root must contain exactly 0..n"));
         }
         if !root.boundary.is_empty() {
-            return Err("root boundary must be empty".into());
+            return Err(SpsepError::invalid_node(0, "root boundary must be empty"));
         }
         // Membership scratch: which node's V(t) a vertex was last seen in.
         let mut stamp = vec![u32::MAX; n];
         let mut side = vec![0u8; n];
         for (i, t) in self.nodes.iter().enumerate() {
+            let node_id = i as u32;
+            if t.vertices.iter().any(|&v| v as usize >= n) {
+                return Err(SpsepError::invalid_node(
+                    node_id,
+                    format!("V(t) contains a vertex outside 0..{n}"),
+                ));
+            }
             if !t.vertices.windows(2).all(|w| w[0] < w[1]) {
-                return Err(format!("node {i}: V(t) not sorted/deduped"));
+                return Err(SpsepError::invalid_node(node_id, "V(t) not sorted/deduped"));
             }
             if !is_sorted_subset(&t.separator, &t.vertices) {
-                return Err(format!("node {i}: S(t) ⊄ V(t)"));
+                return Err(SpsepError::invalid_node(node_id, "S(t) ⊄ V(t)"));
             }
             if !is_sorted_subset(&t.boundary, &t.vertices) {
-                return Err(format!("node {i}: B(t) ⊄ V(t)"));
+                return Err(SpsepError::invalid_node(node_id, "B(t) ⊄ V(t)"));
             }
             if let Some((c1, c2)) = t.children {
+                if c1 as usize >= self.nodes.len() || c2 as usize >= self.nodes.len() {
+                    return Err(SpsepError::invalid_node(node_id, "child id out of range"));
+                }
                 let (a, b) = (
                     &self.nodes[c1 as usize].vertices,
                     &self.nodes[c2 as usize].vertices,
                 );
-                if self.nodes[c1 as usize].parent != Some(i as u32)
-                    || self.nodes[c2 as usize].parent != Some(i as u32)
+                if self.nodes[c1 as usize].parent != Some(node_id)
+                    || self.nodes[c2 as usize].parent != Some(node_id)
                 {
-                    return Err(format!("node {i}: child parent link broken"));
+                    return Err(SpsepError::invalid_node(node_id, "child parent link broken"));
                 }
                 if self.nodes[c1 as usize].level != t.level + 1
                     || self.nodes[c2 as usize].level != t.level + 1
                 {
-                    return Err(format!("node {i}: child level != parent level + 1"));
+                    return Err(SpsepError::invalid_node(
+                        node_id,
+                        "child level != parent level + 1",
+                    ));
                 }
                 let union = sorted_union(a, b);
                 if union != t.vertices {
-                    return Err(format!("node {i}: V(t) != V(t1) ∪ V(t2)"));
+                    return Err(SpsepError::invalid_node(node_id, "V(t) != V(t1) ∪ V(t2)"));
                 }
                 for &s in &t.separator {
                     if a.binary_search(&s).is_err() || b.binary_search(&s).is_err() {
-                        return Err(format!(
-                            "node {i}: separator vertex {s} missing from a child \
-                             (include-all policy, DESIGN.md §5)"
+                        return Err(SpsepError::invalid_node_vertex(
+                            node_id,
+                            s,
+                            "separator vertex missing from a child \
+                             (include-all policy, DESIGN.md §5)",
                         ));
                     }
                 }
                 // Separation: mark side of each vertex; S(t) and overlap = 0,
                 // side1-only = 1, side2-only = 2. Then scan edges inside V(t).
                 for &v in &t.vertices {
-                    stamp[v as usize] = i as u32;
+                    stamp[v as usize] = node_id;
                     side[v as usize] = 0;
                 }
                 for &v in a {
@@ -286,9 +365,10 @@ impl SepTree {
                     if t.separator.binary_search(&v).is_err() {
                         let s = &mut side[v as usize];
                         if *s == 1 {
-                            *s = 0; // in both children but not separator: allowed only via S — flag below
-                            return Err(format!(
-                                "node {i}: vertex {v} in both children but not in S(t)"
+                            return Err(SpsepError::invalid_node_vertex(
+                                node_id,
+                                v,
+                                "vertex in both children but not in S(t)",
                             ));
                         }
                         *s = 2;
@@ -299,13 +379,15 @@ impl SepTree {
                         continue;
                     }
                     for &u in &adj[v as usize] {
-                        if stamp[u as usize] != i as u32 {
+                        if stamp[u as usize] != node_id {
                             continue; // edge leaves G(t); checked via boundary below
                         }
                         let (sv, su) = (side[v as usize], side[u as usize]);
                         if sv != 0 && su != 0 && sv != su {
-                            return Err(format!(
-                                "node {i}: edge {v}–{u} crosses the separator"
+                            return Err(SpsepError::invalid_node_vertex(
+                                node_id,
+                                v,
+                                format!("edge {v}–{u} crosses the separator"),
                             ));
                         }
                     }
@@ -313,17 +395,22 @@ impl SepTree {
             }
             // Prop 2.1(ii): edges from V(t)\B(t) must stay inside V(t).
             if let Some(parent_id) = t.parent {
+                if parent_id as usize >= self.nodes.len() {
+                    return Err(SpsepError::invalid_node(node_id, "parent id out of range"));
+                }
                 for &v in &t.vertices {
-                    stamp[v as usize] = i as u32;
+                    stamp[v as usize] = node_id;
                 }
                 for &v in &t.vertices {
                     if t.boundary.binary_search(&v).is_ok() {
                         continue;
                     }
                     for &u in &adj[v as usize] {
-                        if stamp[u as usize] != i as u32 {
-                            return Err(format!(
-                                "node {i}: interior vertex {v} has edge to {u} outside V(t)"
+                        if stamp[u as usize] != node_id {
+                            return Err(SpsepError::invalid_node_vertex(
+                                node_id,
+                                v,
+                                format!("interior vertex has edge to {u} outside V(t)"),
                             ));
                         }
                     }
@@ -332,29 +419,36 @@ impl SepTree {
                 let p = &self.nodes[parent_id as usize];
                 let expect = sorted_intersection(&sorted_union(&p.separator, &p.boundary), &t.vertices);
                 if expect != t.boundary {
-                    return Err(format!("node {i}: boundary recurrence violated"));
+                    return Err(SpsepError::invalid_node(node_id, "boundary recurrence violated"));
                 }
             }
             if t.is_leaf() && !t.separator.is_empty() {
-                return Err(format!("node {i}: leaf with nonempty separator"));
+                return Err(SpsepError::invalid_node(node_id, "leaf with nonempty separator"));
             }
         }
         // Vertex maps.
         for v in 0..n {
             let nd = self.vertex_node[v];
             if nd == u32::MAX {
-                return Err(format!("vertex {v} not covered by any node"));
+                return Err(SpsepError::invalid_vertex(
+                    v as u32,
+                    "vertex not covered by any node",
+                ));
             }
             let t = &self.nodes[nd as usize];
             let lv = self.vertex_level[v];
             if lv == UNDEFINED_LEVEL {
                 if !t.is_leaf() || t.vertices.binary_search(&(v as u32)).is_err() {
-                    return Err(format!("vertex {v}: undefined level but node(v) not its leaf"));
+                    return Err(SpsepError::invalid_vertex(
+                        v as u32,
+                        "undefined level but node(v) not its leaf",
+                    ));
                 }
-            } else {
-                if t.level != lv || t.separator.binary_search(&(v as u32)).is_err() {
-                    return Err(format!("vertex {v}: node/level maps inconsistent"));
-                }
+            } else if t.level != lv || t.separator.binary_search(&(v as u32)).is_err() {
+                return Err(SpsepError::invalid_vertex(
+                    v as u32,
+                    "node/level maps inconsistent",
+                ));
             }
         }
         Ok(())
@@ -375,22 +469,24 @@ impl SepTree {
         for _ in 0..depth {
             out.push_str("  ");
         }
-        if t.is_leaf() {
-            writeln!(out, "leaf |V|={} V={:?}", t.vertices.len(), t.vertices).unwrap();
-        } else {
-            writeln!(
-                out,
-                "node |V|={} |S|={} |B|={} S={:?}",
-                t.vertices.len(),
-                t.separator.len(),
-                t.boundary.len(),
-                t.separator
-            )
-            .unwrap();
-            if depth < max_depth {
-                let (c1, c2) = t.children.unwrap();
-                self.render_node(c1, depth + 1, max_depth, out);
-                self.render_node(c2, depth + 1, max_depth, out);
+        match t.children {
+            None => {
+                // Writes into a String are infallible.
+                let _ = writeln!(out, "leaf |V|={} V={:?}", t.vertices.len(), t.vertices);
+            }
+            Some((c1, c2)) => {
+                let _ = writeln!(
+                    out,
+                    "node |V|={} |S|={} |B|={} S={:?}",
+                    t.vertices.len(),
+                    t.separator.len(),
+                    t.boundary.len(),
+                    t.separator
+                );
+                if depth < max_depth {
+                    self.render_node(c1, depth + 1, max_depth, out);
+                    self.render_node(c2, depth + 1, max_depth, out);
+                }
             }
         }
     }
@@ -535,8 +631,13 @@ mod tests {
         adj[3].push(1);
         let err = tree.validate(&adj).unwrap_err();
         assert!(
-            err.contains("crosses the separator") || err.contains("edge to"),
+            matches!(err, SpsepError::InvalidDecomposition { .. }),
             "unexpected error: {err}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("crosses the separator") || msg.contains("edge to"),
+            "unexpected error: {msg}"
         );
     }
 

@@ -11,7 +11,7 @@
 use crate::engine::{decompose, RecursionLimits, Separation, SubProblem};
 use crate::tree::SepTree;
 use rand::Rng;
-use spsep_graph::{DiGraph, Edge};
+use spsep_graph::{DiGraph, Edge, SpsepError};
 
 /// A tree decomposition: bags of vertices connected in a tree.
 ///
@@ -44,29 +44,42 @@ impl TreeDecomposition {
     }
 
     /// Check the three tree-decomposition invariants against a graph
-    /// skeleton.
-    pub fn validate(&self, adj: &[Vec<u32>]) -> Result<(), String> {
+    /// skeleton. Violations are reported as
+    /// [`SpsepError::InvalidDecomposition`] with the offending bag
+    /// (as the `node` field) and vertex attached.
+    pub fn validate(&self, adj: &[Vec<u32>]) -> Result<(), SpsepError> {
         let n = adj.len();
         // 1 + 3: per-vertex bag sets form nonempty connected subtrees.
         let bag_adj = self.bag_adjacency();
         if self.tree_edges.len() + 1 != self.bags.len() && !self.bags.is_empty() {
-            return Err("bag tree is not a tree".into());
+            return Err(SpsepError::invalid_decomposition("bag tree is not a tree"));
+        }
+        for (ei, &(a, b)) in self.tree_edges.iter().enumerate() {
+            if a as usize >= self.bags.len() || b as usize >= self.bags.len() {
+                return Err(SpsepError::invalid_decomposition(format!(
+                    "tree edge #{ei} ({a}–{b}) references a missing bag"
+                )));
+            }
         }
         let mut containing: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (bi, bag) in self.bags.iter().enumerate() {
             if !bag.windows(2).all(|w| w[0] < w[1]) {
-                return Err(format!("bag {bi} not sorted"));
+                return Err(SpsepError::invalid_node(bi as u32, "bag not sorted"));
             }
             for &v in bag {
                 if v as usize >= n {
-                    return Err(format!("bag {bi}: vertex {v} out of range"));
+                    return Err(SpsepError::invalid_node_vertex(
+                        bi as u32,
+                        v,
+                        "bag vertex out of range",
+                    ));
                 }
                 containing[v as usize].push(bi as u32);
             }
         }
         for (v, bags_of_v) in containing.iter().enumerate() {
             if bags_of_v.is_empty() {
-                return Err(format!("vertex {v} in no bag"));
+                return Err(SpsepError::invalid_vertex(v as u32, "vertex in no bag"));
             }
             // Connectivity of the induced bag subtree via BFS.
             let set: std::collections::HashSet<u32> = bags_of_v.iter().copied().collect();
@@ -81,7 +94,10 @@ impl TreeDecomposition {
                 }
             }
             if seen.len() != set.len() {
-                return Err(format!("vertex {v}: bag subtree disconnected"));
+                return Err(SpsepError::invalid_vertex(
+                    v as u32,
+                    "bag subtree disconnected",
+                ));
             }
         }
         // 2: edge coverage.
@@ -91,7 +107,10 @@ impl TreeDecomposition {
                     .iter()
                     .any(|&b| self.bags[b as usize].binary_search(&v).is_ok());
                 if !covered {
-                    return Err(format!("edge {u}–{v} covered by no bag"));
+                    return Err(SpsepError::invalid_vertex(
+                        u as u32,
+                        format!("edge {u}–{v} covered by no bag"),
+                    ));
                 }
             }
         }

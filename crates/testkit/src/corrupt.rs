@@ -1,0 +1,295 @@
+//! The corruption catalog.
+//!
+//! Each corruption is *designed to be caught*: text corruptions must
+//! make the targeted parser return a typed [`SpsepError`], and instance
+//! corruptions must either fail [`SepTree::try_assemble`], trip the
+//! [`spsep_core::validate_instance`] pre-flight (falling back to the
+//! baselines), or be an absorbing cycle (a hard error on every path).
+//! The fault-injection harness asserts exactly that, under
+//! `catch_unwind`, and cross-checks all surviving distances against
+//! Dijkstra.
+
+use rand::SeedableRng;
+use spsep_graph::{DiGraph, Edge, SpsepError};
+use spsep_separator::{builders, RecursionLimits, SepTree};
+
+/// Which serialization format a [`TextCorruption`] targets.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TextFormat {
+    /// `spsep_graph::io` DIMACS-style graphs (`p sp` / `a` records).
+    Graph,
+    /// `spsep_separator::io` decomposition trees (`st` / `i` / `l`).
+    Tree,
+    /// `spsep_core::io` augmentations (`ep` / `e` records).
+    Augmentation,
+}
+
+/// A named, deterministic corruption of serialized text.
+pub struct TextCorruption {
+    /// Stable identifier (used in assertion messages).
+    pub name: &'static str,
+    /// Which parser must reject the output.
+    pub format: TextFormat,
+    /// The transformation, applied to a *valid* serialization.
+    pub apply: fn(&str) -> String,
+}
+
+/// Replace whitespace-separated token `tok` on (0-based) line `line`.
+fn set_token(text: &str, line: usize, tok: usize, value: &str) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    if let Some(l) = lines.get_mut(line) {
+        let mut toks: Vec<&str> = l.split_whitespace().collect();
+        if tok < toks.len() {
+            toks[tok] = value;
+        }
+        *l = toks.join(" ");
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Drop the final non-empty line (a cleanly truncated file).
+fn drop_last_line(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    lines[..lines.len().saturating_sub(1)].join("\n") + "\n"
+}
+
+/// 0-based index of the first line starting with `prefix`, and a token
+/// count for it.
+fn find_line(text: &str, prefix: &str) -> (usize, usize) {
+    for (i, l) in text.lines().enumerate() {
+        if l.starts_with(prefix) {
+            return (i, l.split_whitespace().count());
+        }
+    }
+    (0, 0)
+}
+
+/// All text-level corruptions. Every entry must make its target parser
+/// return `Err(SpsepError::…)` when applied to a valid serialization of
+/// an instance with at least one edge, one separator, and one shortcut.
+pub fn text_corruptions() -> Vec<TextCorruption> {
+    use TextFormat::*;
+    vec![
+        TextCorruption {
+            name: "graph: truncated file (last arc missing)",
+            format: Graph,
+            apply: drop_last_line,
+        },
+        TextCorruption {
+            name: "graph: out-of-range vertex id",
+            format: Graph,
+            apply: |t| set_token(t, 1, 1, "999999"),
+        },
+        TextCorruption {
+            name: "graph: NaN weight",
+            format: Graph,
+            apply: |t| set_token(t, 1, 3, "NaN"),
+        },
+        TextCorruption {
+            name: "graph: overflowing weight (1e999 → +inf)",
+            format: Graph,
+            apply: |t| set_token(t, 1, 3, "1e999"),
+        },
+        TextCorruption {
+            name: "graph: header declares more arcs than present",
+            format: Graph,
+            apply: |t| set_token(t, 0, 3, "123456"),
+        },
+        TextCorruption {
+            name: "graph: unknown record kind",
+            format: Graph,
+            apply: |t| set_token(t, 1, 0, "z"),
+        },
+        TextCorruption {
+            name: "tree: truncated file (last node missing)",
+            format: Tree,
+            apply: drop_last_line,
+        },
+        TextCorruption {
+            name: "tree: out-of-range vertex id in a leaf",
+            format: Tree,
+            apply: |t| {
+                let (line, ntok) = find_line(t, "l ");
+                set_token(t, line, ntok - 1, "999999")
+            },
+        },
+        TextCorruption {
+            name: "tree: second root (parent -1 on a non-root node)",
+            format: Tree,
+            apply: |t| set_token(t, 2, 1, "-1"),
+        },
+        TextCorruption {
+            name: "tree: unknown record kind",
+            format: Tree,
+            apply: |t| set_token(t, 1, 0, "q"),
+        },
+        TextCorruption {
+            name: "tree: header declares zero nodes",
+            format: Tree,
+            apply: |t| set_token(t, 0, 2, "0"),
+        },
+        TextCorruption {
+            name: "augmentation: truncated file (last shortcut missing)",
+            format: Augmentation,
+            apply: drop_last_line,
+        },
+        TextCorruption {
+            name: "augmentation: NaN shortcut weight",
+            format: Augmentation,
+            apply: |t| set_token(t, 1, 3, "NaN"),
+        },
+        TextCorruption {
+            name: "augmentation: out-of-range endpoint",
+            format: Augmentation,
+            apply: |t| set_token(t, 1, 1, "999999"),
+        },
+        TextCorruption {
+            name: "augmentation: header declares more shortcuts than present",
+            format: Augmentation,
+            apply: |t| set_token(t, 0, 2, "123456"),
+        },
+    ]
+}
+
+/// A structurally corrupted in-memory instance.
+pub struct CorruptInstance {
+    /// Stable identifier (used in assertion messages).
+    pub name: &'static str,
+    /// The (possibly damaged) graph. Weights stay nonnegative except in
+    /// the absorbing-cycle instance, so Dijkstra is a valid oracle.
+    pub graph: DiGraph<f64>,
+    /// The (possibly damaged) tree — `Err` when the corruption is
+    /// already caught at assembly, which is an accepted outcome.
+    pub tree: Result<SepTree, SpsepError>,
+    /// `true` when distances are undefined (an absorbing cycle was
+    /// injected): the pipeline must *hard-error*, not fall back.
+    pub absorbing: bool,
+}
+
+fn grid_instance(dims: [usize; 2], seed: u64) -> (DiGraph<f64>, SepTree) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (g, _) = spsep_graph::generators::grid(&dims, &mut rng);
+    let tree = builders::grid_tree(&dims, RecursionLimits::default());
+    (g, tree)
+}
+
+/// All structural corruptions of `(graph, tree)` pairs.
+pub fn instance_corruptions() -> Vec<CorruptInstance> {
+    let mut out = Vec::new();
+
+    // 1. Non-separating separator: delete a vertex from the root
+    // separator. The vertex then belongs to no leaf and no separator.
+    {
+        let (g, tree) = grid_instance([9, 8], 70);
+        let mut nodes = tree.nodes().to_vec();
+        let sep_node = nodes
+            .iter()
+            .position(|t| !t.separator.is_empty())
+            .unwrap_or(0);
+        nodes[sep_node].separator.remove(0);
+        out.push(CorruptInstance {
+            name: "instance: separator vertex deleted (no longer separating)",
+            graph: g,
+            tree: SepTree::try_assemble(72, nodes),
+            absorbing: false,
+        });
+    }
+
+    // 2. Shuffled node levels (rotated by one): breaks the BFS-level
+    // invariant the phase schedule depends on.
+    {
+        let (g, tree) = grid_instance([9, 8], 71);
+        let mut nodes = tree.nodes().to_vec();
+        let levels: Vec<u32> = nodes.iter().map(|t| t.level).collect();
+        let k = nodes.len();
+        for (i, t) in nodes.iter_mut().enumerate() {
+            t.level = levels[(i + 1) % k];
+        }
+        out.push(CorruptInstance {
+            name: "instance: node levels rotated",
+            graph: g,
+            tree: SepTree::try_assemble(72, nodes),
+            absorbing: false,
+        });
+    }
+
+    // 3. Root and deepest leaf swap levels.
+    {
+        let (g, tree) = grid_instance([9, 8], 72);
+        let mut nodes = tree.nodes().to_vec();
+        let deepest = nodes.len() - 1;
+        nodes[0].level = nodes[deepest].level;
+        nodes[deepest].level = 0;
+        out.push(CorruptInstance {
+            name: "instance: root and deepest node swap levels",
+            graph: g,
+            tree: SepTree::try_assemble(72, nodes),
+            absorbing: false,
+        });
+    }
+
+    // 4. Tree built for a different graph entirely.
+    {
+        let (g, _) = grid_instance([9, 8], 73);
+        let wrong = builders::grid_tree(&[5, 5], RecursionLimits::default());
+        out.push(CorruptInstance {
+            name: "instance: decomposition of a smaller graph",
+            graph: g,
+            tree: Ok(wrong),
+            absorbing: false,
+        });
+    }
+
+    // 5. An edge the decomposition does not cover: the two far corners
+    // of the grid live in disjoint subtrees. The fast path would route
+    // around this edge and report a too-long distance; the pipeline
+    // must fall back and answer from the raw graph.
+    {
+        let (g, tree) = grid_instance([9, 8], 74);
+        let mut edges = g.edges().to_vec();
+        edges.push(Edge::new(0, g.n() - 1, 0.01));
+        out.push(CorruptInstance {
+            name: "instance: edge crossing the decomposition",
+            graph: DiGraph::from_edges(g.n(), edges),
+            tree: Ok(tree),
+            absorbing: false,
+        });
+    }
+
+    // 6. Absorbing cycle: the reverse of an existing edge with a large
+    // negative weight. Distances are undefined — hard error expected.
+    {
+        let (g, tree) = grid_instance([9, 8], 75);
+        let e0 = g.edges()[0];
+        let mut edges = g.edges().to_vec();
+        edges.push(Edge::new(e0.to as usize, e0.from as usize, -1e6));
+        out.push(CorruptInstance {
+            name: "instance: absorbing (negative) cycle",
+            graph: DiGraph::from_edges(g.n(), edges),
+            tree: Ok(tree),
+            absorbing: true,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_meets_the_coverage_floor() {
+        // The robustness acceptance bar: at least 10 distinct
+        // corruption kinds across both families.
+        let total = text_corruptions().len() + instance_corruptions().len();
+        assert!(total >= 10, "only {total} corruption kinds");
+    }
+
+    #[test]
+    fn set_token_replaces_in_place() {
+        let s = "p sp 2 1\na 1 2 0.5\n";
+        assert_eq!(set_token(s, 1, 3, "NaN"), "p sp 2 1\na 1 2 NaN\n");
+        assert_eq!(drop_last_line(s), "p sp 2 1\n");
+    }
+}

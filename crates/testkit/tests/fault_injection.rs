@@ -1,0 +1,183 @@
+//! The fault-injection harness: every corruption in the catalog must
+//! yield a typed error or a correct fallback — never a panic (verified
+//! with `catch_unwind`), never a wrong distance (verified against
+//! Dijkstra).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::SeedableRng;
+use spsep_baselines::dijkstra;
+use spsep_core::{preprocess_or_fallback, FallbackPolicy, SpsepError};
+use spsep_graph::semiring::Tropical;
+use spsep_graph::DiGraph;
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits, SepTree};
+use spsep_testkit::{instance_corruptions, text_corruptions, TextFormat};
+
+fn no_panic<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(_) => panic!("corruption '{name}' caused a panic"),
+    }
+}
+
+fn valid_instance() -> (DiGraph<f64>, SepTree) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let (g, _) = spsep_graph::generators::grid(&[9, 8], &mut rng);
+    let tree = builders::grid_tree(&[9, 8], RecursionLimits::default());
+    (g, tree)
+}
+
+/// Valid serializations of one instance, in all three formats.
+fn valid_texts() -> (String, String, String) {
+    let (g, tree) = valid_instance();
+    let mut gbuf = Vec::new();
+    spsep_graph::io::write_dimacs(&g, &mut gbuf).unwrap();
+    let mut tbuf = Vec::new();
+    spsep_separator::io::write_tree(&tree, &mut tbuf).unwrap();
+    let metrics = Metrics::new();
+    let aug = spsep_core::alg41::augment_leaves_up::<Tropical>(&g, &tree, &metrics).unwrap();
+    assert!(!aug.eplus.is_empty(), "corruptions assume a nonempty E+");
+    let mut abuf = Vec::new();
+    spsep_core::io::write_augmentation(g.n(), &aug, &mut abuf).unwrap();
+    (
+        String::from_utf8(gbuf).unwrap(),
+        String::from_utf8(tbuf).unwrap(),
+        String::from_utf8(abuf).unwrap(),
+    )
+}
+
+fn parse(format: TextFormat, text: &str) -> Result<(), SpsepError> {
+    match format {
+        TextFormat::Graph => spsep_graph::io::read_dimacs(text.as_bytes()).map(|_| ()),
+        TextFormat::Tree => spsep_separator::io::read_tree(text.as_bytes()).map(|_| ()),
+        TextFormat::Augmentation => {
+            spsep_core::io::read_augmentation(text.as_bytes()).map(|_| ())
+        }
+    }
+}
+
+#[test]
+fn catalog_has_at_least_ten_corruption_kinds() {
+    assert!(text_corruptions().len() + instance_corruptions().len() >= 10);
+}
+
+#[test]
+fn uncorrupted_texts_parse_cleanly() {
+    // Control: the corruptions below prove something only if the
+    // pristine serializations are accepted.
+    let (g, t, a) = valid_texts();
+    parse(TextFormat::Graph, &g).unwrap();
+    parse(TextFormat::Tree, &t).unwrap();
+    parse(TextFormat::Augmentation, &a).unwrap();
+}
+
+#[test]
+fn every_text_corruption_is_rejected_with_a_typed_error() {
+    let (gtext, ttext, atext) = valid_texts();
+    for c in text_corruptions() {
+        let source = match c.format {
+            TextFormat::Graph => &gtext,
+            TextFormat::Tree => &ttext,
+            TextFormat::Augmentation => &atext,
+        };
+        let corrupted = (c.apply)(source);
+        assert_ne!(
+            &corrupted, source,
+            "corruption '{}' did not change the text",
+            c.name
+        );
+        let result = no_panic(c.name, || parse(c.format, &corrupted));
+        let Err(err) = result else {
+            panic!("corruption '{}' parsed successfully", c.name);
+        };
+        // Errors must be presentable (non-empty Display) and typed.
+        assert!(!err.to_string().is_empty());
+        match err {
+            SpsepError::Parse { .. } | SpsepError::InvalidDecomposition { .. } => {}
+            other => panic!("corruption '{}': unexpected error kind {other:?}", c.name),
+        }
+    }
+}
+
+#[test]
+fn every_instance_corruption_degrades_without_panics_or_wrong_distances() {
+    let metrics = Metrics::new();
+    for inst in instance_corruptions() {
+        no_panic(inst.name, || {
+            let tree = match &inst.tree {
+                // Caught at assembly: a typed error is an accepted
+                // terminal outcome for a corrupted tree.
+                Err(e) => {
+                    assert!(
+                        matches!(e, SpsepError::InvalidDecomposition { .. }),
+                        "'{}': unexpected assembly error {e:?}",
+                        inst.name
+                    );
+                    return;
+                }
+                Ok(t) => t,
+            };
+            match preprocess_or_fallback(&inst.graph, tree, &FallbackPolicy::default(), &metrics)
+            {
+                Err(err) => {
+                    // The only acceptable hard error is an absorbing
+                    // cycle — and then the instance really has one.
+                    let SpsepError::AbsorbingCycle { witness } = &err else {
+                        panic!("'{}': unexpected hard error {err:?}", inst.name);
+                    };
+                    assert!(
+                        inst.absorbing,
+                        "'{}': spurious absorbing-cycle report",
+                        inst.name
+                    );
+                    assert!(!witness.is_empty(), "'{}': empty witness", inst.name);
+                }
+                Ok(prepared) => {
+                    assert!(
+                        !inst.absorbing,
+                        "'{}': absorbing cycle was answered",
+                        inst.name
+                    );
+                    // Whatever path was chosen, distances must agree
+                    // with the Dijkstra oracle on the *actual* graph.
+                    for source in [0usize, inst.graph.n() / 2, inst.graph.n() - 1] {
+                        let got = prepared.distances(source, &metrics);
+                        let oracle = dijkstra(&inst.graph, source).dist;
+                        for v in 0..inst.graph.n() {
+                            assert!(
+                                (got[v] - oracle[v]).abs() < 1e-9
+                                    || (got[v].is_infinite() && oracle[v].is_infinite()),
+                                "'{}': distance mismatch at source {source}, vertex {v}: \
+                                 got {} want {}",
+                                inst.name,
+                                got[v],
+                                oracle[v]
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn corrupted_trees_that_assemble_are_caught_by_preflight_not_trusted() {
+    // Every corrupted tree that survives try_assemble must be refused
+    // by validate_instance (which is what forces the fallback above) —
+    // otherwise the fast path would run on a broken decomposition.
+    for inst in instance_corruptions() {
+        if inst.absorbing {
+            continue;
+        }
+        if let Ok(tree) = &inst.tree {
+            let verdict = spsep_core::validate_instance(&inst.graph, tree);
+            assert!(
+                verdict.is_err(),
+                "'{}': corrupted tree passed pre-flight validation",
+                inst.name
+            );
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset it uses. [`join`] runs its closures on real
+//! scoped threads; the `par_iter` family returns ordinary sequential
+//! iterators (every std `Iterator` adaptor keeps working, so call sites
+//! are source-compatible). Algorithmic results are identical; only
+//! wall-clock parallelism of the iterator adaptors is sacrificed until
+//! the real crate is restorable.
+
+/// Run `a` and `b` potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirror; thread-count hints are accepted and ignored.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepted for API compatibility; the shim always runs inline.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    /// Build the (inline) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// Pool mirror: `install` simply invokes the closure.
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Run `f` "inside the pool".
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// Number of threads the pool would use (the shim runs inline).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub mod prelude {
+    //! Parallel-iterator traits, mapped onto sequential std iterators.
+
+    /// Mirror of `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consume `self` into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item: 'a;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate `&self` "in parallel".
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Item = <&'a T as IntoIterator>::Item;
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type.
+        type Item: 'a;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate `&mut self` "in parallel".
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Item = <&'a mut T as IntoIterator>::Item;
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Fallible-reduction mirror of `ParallelIterator::try_reduce`,
+    /// blanket-implemented for every iterator over `Result`s.
+    pub trait TryReduceExt<T, E>: Iterator<Item = Result<T, E>> + Sized {
+        /// Reduce `Ok` items with `op`, short-circuiting on the first
+        /// `Err`; `identity` seeds the accumulator as in rayon.
+        fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Result<T, E>
+        where
+            ID: Fn() -> T,
+            OP: Fn(T, T) -> Result<T, E>,
+        {
+            let mut acc = identity();
+            for item in self {
+                acc = op(acc, item?)?;
+            }
+            Ok(acc)
+        }
+    }
+
+    impl<I, T, E> TryReduceExt<T, E> for I where I: Iterator<Item = Result<T, E>> {}
+
+    /// Mirror of `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunks of at most `chunk_size` elements.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Unstable sort (sequential in the shim).
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+    }
+
+    /// Mirror of `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        /// Chunks of at most `chunk_size` elements.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_and_propagates_panics() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+        let res = std::panic::catch_unwind(|| {
+            super::join(|| (), || panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn par_iter_adapters_behave_like_std() {
+        let v = vec![3u64, 1, 2];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let sum: u64 = (0..10u64).into_par_iter().sum();
+        assert_eq!(sum, 45);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![4, 2, 3]);
+        w.par_sort_unstable();
+        assert_eq!(w, vec![2, 3, 4]);
+        let mut buf = [0u8; 10];
+        for (i, c) in buf.par_chunks_mut(3).enumerate() {
+            c.fill(i as u8);
+        }
+        assert_eq!(buf, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert!(super::current_num_threads() >= 1);
+    }
+}
