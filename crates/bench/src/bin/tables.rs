@@ -5,7 +5,8 @@
 //! cargo run --release -p spsep-bench --bin tables -- e1 fig2 # a subset
 //! ```
 //!
-//! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 check
+//! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
+//! e15 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 
 use spsep_bench::experiments;
@@ -70,6 +71,9 @@ fn main() {
     }
     if want("e14") {
         println!("{hr}\n{}", experiments::e14_builder_comparison());
+    }
+    if want("e15") {
+        println!("{hr}\n{}", experiments::e15_family_speedup());
     }
     if want("check") {
         println!("{hr}\n{}", experiments::consistency_check());

@@ -455,6 +455,66 @@ pub fn e9_thread_scaling() -> String {
     out
 }
 
+/// E15 — executor speedup per family: Alg 4.1 preprocessing wall-clock
+/// at 1/2/4/8 threads for every generator family, plus a bit-identity
+/// check that the executor's determinism contract holds at bench sizes.
+pub fn e15_family_speedup() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut out = format!(
+        "E15 — Alg 4.1 preprocessing wall-clock vs worker threads, per \
+         family (n ≈ 4096, median of 3 runs). This host exposes {cores} \
+         core(s), so the expected speedup ceiling is {cores}x; on a \
+         single core the t>1 columns measure scheduling overhead only \
+         (see E9 for the machine-independent depth evidence). The \
+         `bitident` column asserts the determinism contract: distances \
+         from n/2 are byte-for-byte equal at every thread count.\n\n",
+    );
+    let mut t = Table::new(&[
+        "family", "t1_ms", "t2_ms", "t4_ms", "t8_ms", "speedup@4", "bitident",
+    ]);
+    for family in Family::all() {
+        let (g, tree) = family.instance(4096, 3);
+        let mut walls = Vec::new();
+        let mut reference: Option<Vec<u64>> = None;
+        let mut identical = true;
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let mut runs = Vec::new();
+            for _ in 0..3 {
+                let metrics = Metrics::new();
+                let t0 = Instant::now();
+                let pre = pool.install(|| {
+                    preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap()
+                });
+                runs.push(t0.elapsed().as_secs_f64() * 1e3);
+                let bits: Vec<u64> = pool
+                    .install(|| pre.distances_seq(g.n() / 2).0)
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect();
+                identical &= *reference.get_or_insert(bits.clone()) == bits;
+            }
+            runs.sort_by(f64::total_cmp);
+            walls.push(runs[1]);
+        }
+        let speedup = walls[0] / walls[2].max(1e-9);
+        t.row(vec![
+            family.label().into(),
+            fmt_f(walls[0]),
+            fmt_f(walls[1]),
+            fmt_f(walls[2]),
+            fmt_f(walls[3]),
+            format!("{speedup:.2}x"),
+            if identical { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
 /// E10 — Section 6: hammock pipeline vs running the main algorithm on all
 /// of `G`, as `q` varies at (roughly) fixed `n`.
 pub fn e10_qfaces() -> String {

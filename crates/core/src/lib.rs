@@ -230,6 +230,9 @@ pub fn validate_instance<W: Copy>(g: &DiGraph<W>, tree: &SepTree) -> Result<(), 
 ///   `spsep_baselines::find_absorbing_cycle_semiring` (it can be empty
 ///   only if recovery and detection disagree, which would itself be a
 ///   bug).
+/// * [`SpsepError::Executor`] — a worker panicked inside the parallel
+///   augmentation phase; the panic is confined by the executor and
+///   surfaced here as a typed error ([`run_protected`]).
 ///
 /// ```
 /// use spsep_core::{preprocess, Algorithm};
@@ -257,15 +260,39 @@ pub fn preprocess<S: Semiring>(
     metrics: &Metrics,
 ) -> Result<Preprocessed<S>, SpsepError> {
     validate_instance(g, tree)?;
-    let augmentation = match algo {
+    let augmentation = run_protected("preprocess augmentation", || match algo {
         Algorithm::LeavesUp => alg41::augment_leaves_up::<S>(g, tree, metrics),
         Algorithm::PathDoubling => alg43::augment_path_doubling::<S>(g, tree, metrics),
         Algorithm::SharedDoubling => alg44::augment_shared_doubling::<S>(g, tree, metrics),
-    }
+    })?
     .map_err(|AbsorbingCycle| SpsepError::AbsorbingCycle {
         witness: spsep_baselines::find_absorbing_cycle_semiring::<S>(g).unwrap_or_default(),
     })?;
     Ok(Preprocessed::compile(g, tree, augmentation))
+}
+
+/// Run `f` — typically a parallel pipeline phase — and convert an
+/// escaped panic into [`SpsepError::Executor`] instead of unwinding.
+///
+/// The executor in the `rayon` shim already confines a worker panic to
+/// its chunk and re-raises it exactly once on the calling thread (no
+/// poisoned locks, no hung latches); this is the boundary where that
+/// re-raised panic becomes a value of the typed error taxonomy. `phase`
+/// names the pipeline stage in the error message.
+pub fn run_protected<R>(phase: &str, f: impl FnOnce() -> R) -> Result<R, SpsepError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let SpsepError::Executor { what } = SpsepError::executor_from_payload(payload.as_ref())
+            else {
+                // executor_from_payload only constructs Executor.
+                unreachable!("executor_from_payload returned a non-Executor error")
+            };
+            Err(SpsepError::Executor {
+                what: format!("{phase}: {what}"),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

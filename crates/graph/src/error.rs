@@ -73,6 +73,15 @@ pub enum SpsepError {
         /// What the input would have required.
         required: usize,
     },
+    /// A worker in the parallel execution engine panicked (or otherwise
+    /// died) while running a pipeline phase. The panic is caught at the
+    /// chunk boundary, the region drains, and the failure surfaces here
+    /// instead of poisoning a lock or hanging a latch.
+    Executor {
+        /// The panic payload rendered to text, plus phase context when
+        /// available.
+        what: String,
+    },
     /// A text artifact (DIMACS graph, `st` tree, `ep` augmentation)
     /// is malformed.
     Parse {
@@ -171,6 +180,22 @@ impl SpsepError {
             witness: Vec::new(),
         }
     }
+
+    /// Executor failure from a caught worker panic payload.
+    pub fn executor(what: impl Into<String>) -> Self {
+        SpsepError::Executor { what: what.into() }
+    }
+
+    /// Executor failure from a `catch_unwind` payload, extracting the
+    /// panic message when it is a string.
+    pub fn executor_from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        let what = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked with a non-string payload".to_string());
+        SpsepError::Executor { what }
+    }
 }
 
 impl std::fmt::Display for SpsepError {
@@ -219,6 +244,9 @@ impl std::fmt::Display for SpsepError {
                 f,
                 "budget exceeded: {resource} requires {required} but the budget is {budget}"
             ),
+            SpsepError::Executor { what } => {
+                write!(f, "executor failure: worker panicked: {what}")
+            }
             SpsepError::Parse { line, what } => match line {
                 Some(l) => write!(f, "parse error at line {l}: {what}"),
                 None => write!(f, "parse error: {what}"),
@@ -270,6 +298,19 @@ mod tests {
         };
         assert!(c.to_string().contains("[1, 2, 1]"), "{c}");
         assert!(SpsepError::absorbing_cycle().to_string().contains("absorbing"));
+    }
+
+    #[test]
+    fn executor_errors_render_their_payload() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("index out of bounds".to_string());
+        let e = SpsepError::executor_from_payload(boxed.as_ref());
+        assert!(e.to_string().contains("index out of bounds"), "{e}");
+
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(17usize);
+        let e = SpsepError::executor_from_payload(boxed.as_ref());
+        assert!(e.to_string().contains("non-string payload"), "{e}");
+
+        assert!(SpsepError::executor("x").to_string().contains("executor"));
     }
 
     #[test]

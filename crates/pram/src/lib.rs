@@ -237,7 +237,7 @@ mod tests {
     fn concurrent_updates_do_not_lose_counts() {
         use rayon::prelude::*;
         let m = Metrics::new();
-        (0..1000).into_par_iter().for_each(|_| {
+        (0..1000usize).into_par_iter().for_each(|_| {
             m.work(Counter::Relaxation, 1);
         });
         assert_eq!(m.work_of(Counter::Relaxation), 1000);

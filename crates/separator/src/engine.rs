@@ -175,7 +175,11 @@ where
     let sub1 = extract_child(&sub, &sep.side1, &sep.separator);
     let sub2 = extract_child(&sub, &sep.side2, &sep.separator);
     drop(sub);
-    let (t1, t2) = rayon::join(
+    // Weighted by total subproblem size: tiny recursions (small leaves
+    // near the bottom of the tree) run inline instead of paying a pool
+    // handoff per node.
+    let (t1, t2) = rayon::join_weighted(
+        sub1.len() + sub2.len(),
         || recurse(sub1, limits, finder, depth + 1),
         || recurse(sub2, limits, finder, depth + 1),
     );

@@ -288,7 +288,7 @@ fn split_region(
         return induced_fallback(global_adj, region);
     }
     // Candidate non-tree edges that are interior (two adjacent faces).
-    let candidates: Vec<(u32, u32)> = face_of_edge
+    let mut candidates: Vec<(u32, u32)> = face_of_edge
         .iter()
         .filter(|&(&(a, b), faces)| {
             faces.len() == 2
@@ -300,6 +300,11 @@ fn split_region(
     if candidates.is_empty() {
         return None;
     }
+    // HashMap iteration order is randomized per instance; both the
+    // xorshift sampling below and first-best tie-breaking depend on the
+    // candidate order, so sort to keep the decomposition a pure
+    // function of its inputs (the repo-wide determinism contract).
+    candidates.sort_unstable();
     // Score a sample of candidates by flood-fill balance.
     let sample: Vec<(u32, u32)> = if candidates.len() <= CYCLE_CANDIDATES {
         candidates
