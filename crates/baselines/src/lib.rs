@@ -19,6 +19,7 @@ pub mod bellman_ford;
 pub mod dijkstra;
 pub mod johnson;
 pub mod reach;
+pub mod semiring_dijkstra;
 
 pub use apsp::{floyd_warshall_apsp, repeated_squaring_apsp};
 pub use bellman_ford::{
@@ -27,6 +28,7 @@ pub use bellman_ford::{
 };
 pub use dijkstra::{dijkstra, dijkstra_multi};
 pub use johnson::johnson;
+pub use semiring_dijkstra::{sssp_semiring_csr, sssp_semiring_multi, SemiringSsspScratch};
 pub use reach::{reachable_from, transitive_closure_dense};
 
 /// The input contains an absorbing cycle (a negative cycle under the

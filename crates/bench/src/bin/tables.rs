@@ -3,16 +3,35 @@
 //! ```text
 //! cargo run --release -p spsep-bench --bin tables            # everything
 //! cargo run --release -p spsep-bench --bin tables -- e1 fig2 # a subset
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e16 --kernels-out BENCH_kernels.json     # kernel bench + artifact
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 check
+//! e15 e16 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
+//!
+//! Flags: `--kernels-out <path>` writes the validated
+//! `spsep-kernel-bench/v1` JSON artifact of E16; `--smoke` shrinks E16
+//! to CI-sized instances.
 
-use spsep_bench::experiments;
+use spsep_bench::{experiments, kernels};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut kernels_out: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--kernels-out" => {
+                kernels_out = Some(it.next().expect("--kernels-out needs a path"));
+            }
+            _ => args.push(a),
+        }
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
     let mut sweep = None;
@@ -74,6 +93,20 @@ fn main() {
     }
     if want("e15") {
         println!("{hr}\n{}", experiments::e15_family_speedup());
+    }
+    if want("e16") || kernels_out.is_some() {
+        let (report, records) = kernels::e16_kernel_speedup(smoke);
+        println!("{hr}\n{report}");
+        assert!(
+            records.iter().all(|r| r.bit_identical),
+            "blocked kernels diverged from naive — determinism contract broken"
+        );
+        let json = kernels::kernels_json(&records);
+        let entries = kernels::validate_kernels_json(&json).expect("artifact schema");
+        if let Some(path) = &kernels_out {
+            std::fs::write(path, &json).expect("write kernels artifact");
+            eprintln!("[tables] wrote {path} ({entries} entries)");
+        }
     }
     if want("check") {
         println!("{hr}\n{}", experiments::consistency_check());

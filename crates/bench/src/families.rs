@@ -47,6 +47,17 @@ impl Family {
         }
     }
 
+    /// Machine-readable slug for JSON artifacts.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Family::Grid2D => "grid2d",
+            Family::Grid3D => "grid3d",
+            Family::Tree => "tree",
+            Family::KTree => "ktree",
+            Family::PlanarMesh => "planar",
+        }
+    }
+
     /// Build an instance with roughly `n_target` vertices, plus its
     /// decomposition tree. Deterministic in `seed`.
     pub fn instance(self, n_target: usize, seed: u64) -> (DiGraph<f64>, SepTree) {

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod families;
+pub mod kernels;
 
 /// Fixed-width table printer for experiment output.
 pub struct Table {

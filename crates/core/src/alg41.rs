@@ -16,24 +16,32 @@
 //! v.   emit `S×S` and `B×B` distances as `E_t`, and keep the `B×B`
 //!      matrix for the parent.
 //!
-//! Leaves compute `dist_{G(t)}` directly by Floyd–Warshall on their O(1)
-//! size induced subgraph.
+//! Leaves compute `dist_{G(t)}` directly (Floyd–Warshall on their O(1)
+//! size induced subgraph, or multi-source Dijkstra when a large leaf is
+//! sparse — see [`crate::augment::leaf_iface_matrix_ws`]).
+//!
+//! Per-node scratch comes from a [`WorkspacePool`]: in steady state a
+//! level allocates only its outputs (interface matrices, `E_t` lists),
+//! and child matrices are freed the moment their parent consumed them.
+//! Each level is profiled into [`Metrics`]' phase log (wall time, model
+//! ops, peak live bytes of matrices + workspaces).
 //!
 //! Negative (absorbing) cycles surface as a strictly-better-than-`1̄`
 //! diagonal in a leaf or `H_S` computation — the lowest node whose
 //! separator the cycle crosses necessarily exposes it (paper comment (i)).
 
 use crate::augment::{dedupe_eplus, emit_node_edges, interfaces, AugmentStats, Augmentation, Interface};
+use crate::workspace::{NodeWorkspace, WorkspacePool};
 use crate::AbsorbingCycle;
 use rayon::prelude::*;
-use spsep_graph::dense::SemiMatrix;
 use spsep_graph::{DiGraph, Edge, Semiring};
-use spsep_pram::{Counter, Metrics};
+use spsep_pram::{Counter, Metrics, PhaseRecord};
 use spsep_separator::SepTree;
+use std::time::Instant;
 
 /// Per-node output: the interface matrix (row-major over
 /// `Interface::verts`) and this node's `E_t` contribution.
-struct NodeOutput<S: Semiring> {
+pub(crate) struct NodeOutput<S: Semiring> {
     mat: Vec<S::W>,
     edges: Vec<Edge<S::W>>,
     raw_pairs: usize,
@@ -54,20 +62,26 @@ pub fn augment_leaves_up<S: Semiring>(
     let mut eplus: Vec<Edge<S::W>> = Vec::new();
     let mut raw_pairs = 0usize;
     let mut absorbing = false;
+    let pool = WorkspacePool::<S>::new();
+    let mat_bytes = |m: &Vec<S::W>| (m.capacity() * std::mem::size_of::<S::W>()) as u64;
+    let mut live_bytes: u64 = 0;
 
     for depth in (0..=tree.height()).rev() {
         let range = tree.nodes_at_level(depth);
         if range.is_empty() {
             continue;
         }
-        metrics.phase(range.len());
+        let width = range.len();
+        let level_start = Instant::now();
+        let work_before = metrics.total_work();
+        metrics.phase(width);
         let outputs: Vec<(u32, NodeOutput<S>)> = range
-            .clone()
             .into_par_iter()
             .map(|id| {
+                let mut ws = pool.acquire();
                 let node = tree.node(id);
                 let out = if node.is_leaf() {
-                    process_leaf::<S>(g, &tree.node(id).vertices, &ifaces[id as usize])
+                    process_leaf::<S>(g, &tree.node(id).vertices, &ifaces[id as usize], &mut ws)
                 } else {
                     let Some((c1, c2)) = node.children else {
                         unreachable!("non-leaf node has children")
@@ -83,24 +97,40 @@ pub fn augment_leaves_up<S: Semiring>(
                         m1,
                         &ifaces[c2 as usize],
                         m2,
+                        &mut ws,
                     )
                 };
+                pool.release(ws);
                 (id, out)
             })
             .collect();
+        let mut level_peak = live_bytes;
         for (id, out) in outputs {
             metrics.work(Counter::FloydWarshall, out.fw_ops);
             metrics.work(Counter::Limited, out.limited_ops);
             absorbing |= out.absorbing;
             raw_pairs += out.raw_pairs;
             eplus.extend(out.edges);
+            live_bytes += mat_bytes(&out.mat);
             mats[id as usize] = Some(out.mat);
+            // Parent + children all live right now: this is the peak.
+            level_peak = level_peak.max(live_bytes + pool.heap_bytes());
             // Children are no longer needed; free their matrices.
             if let Some((c1, c2)) = tree.node(id).children {
-                mats[c1 as usize] = None;
-                mats[c2 as usize] = None;
+                for c in [c1, c2] {
+                    if let Some(cm) = mats[c as usize].take() {
+                        live_bytes -= mat_bytes(&cm);
+                    }
+                }
             }
         }
+        metrics.record_phase(PhaseRecord {
+            label: format!("alg41/level {depth}"),
+            width,
+            wall_ns: level_start.elapsed().as_nanos() as u64,
+            ops: metrics.total_work() - work_before,
+            peak_bytes: level_peak,
+        });
         if absorbing {
             return Err(AbsorbingCycle);
         }
@@ -117,14 +147,16 @@ pub fn augment_leaves_up<S: Semiring>(
     Ok(Augmentation { eplus, stats })
 }
 
-/// Floyd–Warshall over the leaf's induced subgraph, projected to its
-/// interface.
+/// Closure over the leaf's induced subgraph (dense or sparse engine),
+/// projected to its interface.
 fn process_leaf<S: Semiring>(
     g: &DiGraph<S::W>,
     vertices: &[u32],
     iface: &Interface,
+    ws: &mut NodeWorkspace<S>,
 ) -> NodeOutput<S> {
-    let (mat, fw_ops, absorbing) = crate::augment::leaf_iface_matrix::<S>(g, vertices, iface);
+    let (mat, fw_ops, absorbing) =
+        crate::augment::leaf_iface_matrix_ws::<S>(g, vertices, iface, ws);
     let mut edges = Vec::new();
     let mut raw_pairs = 0usize;
     emit_node_edges::<S>(iface, &mat, &mut edges, &mut raw_pairs);
@@ -148,18 +180,26 @@ fn child_dist<S: Semiring>(ci: &Interface, cmat: &[S::W], u: u32, v: u32) -> S::
     }
 }
 
-/// Steps i–v for an internal node.
-fn process_internal<S: Semiring>(
+/// Steps i–v for an internal node. All transient buffers live in `ws`;
+/// only the returned interface matrix and edge list are allocated.
+pub(crate) fn process_internal<S: Semiring>(
     iface: &Interface,
     ci1: &Interface,
     m1: &[S::W],
     ci2: &Interface,
     m2: &[S::W],
+    ws: &mut NodeWorkspace<S>,
 ) -> NodeOutput<S> {
     let ns = iface.sep_pos.len();
     let nb = iface.bnd_pos.len();
-    let sep_verts: Vec<u32> = iface.sep_pos.iter().map(|&p| iface.verts[p as usize]).collect();
-    let bnd_verts: Vec<u32> = iface.bnd_pos.iter().map(|&p| iface.verts[p as usize]).collect();
+    ws.sep_verts.clear();
+    ws.sep_verts
+        .extend(iface.sep_pos.iter().map(|&p| iface.verts[p as usize]));
+    ws.bnd_verts.clear();
+    ws.bnd_verts
+        .extend(iface.bnd_pos.iter().map(|&p| iface.verts[p as usize]));
+    let sep_verts = &ws.sep_verts;
+    let bnd_verts = &ws.bnd_verts;
 
     let both = |u: u32, v: u32| -> S::W {
         S::combine(
@@ -169,7 +209,8 @@ fn process_internal<S: Semiring>(
     };
 
     // Step i–ii: H_S and its closure.
-    let mut hs = SemiMatrix::<S>::identity(ns);
+    let hs = &mut ws.dense;
+    hs.reset_identity(ns);
     for (a, &u) in sep_verts.iter().enumerate() {
         for (b, &v) in sep_verts.iter().enumerate() {
             if a != b {
@@ -178,20 +219,24 @@ fn process_internal<S: Semiring>(
         }
     }
     let outcome = hs.floyd_warshall();
+    let hs = &ws.dense;
 
     // Step iii: rectangular blocks of H.
     // R[b][s] = child dist b→s; C[s][b] = child dist s→b;
     // direct[b][b'] = child dist b→b'.
-    let mut r = vec![S::zero(); nb * ns];
-    let mut c = vec![S::zero(); ns * nb];
-    let mut direct = vec![S::zero(); nb * nb];
+    ws.r.clear();
+    ws.r.resize(nb * ns, S::zero());
+    ws.c.clear();
+    ws.c.resize(ns * nb, S::zero());
+    ws.direct.clear();
+    ws.direct.resize(nb * nb, S::zero());
     for (bi, &bv) in bnd_verts.iter().enumerate() {
         for (si, &sv) in sep_verts.iter().enumerate() {
-            r[bi * ns + si] = both(bv, sv);
-            c[si * nb + bi] = both(sv, bv);
+            ws.r[bi * ns + si] = both(bv, sv);
+            ws.c[si * nb + bi] = both(sv, bv);
         }
         for (bj, &bw) in bnd_verts.iter().enumerate() {
-            direct[bi * nb + bj] = if bi == bj { S::one() } else { both(bv, bw) };
+            ws.direct[bi * nb + bj] = if bi == bj { S::one() } else { both(bv, bw) };
         }
     }
 
@@ -200,8 +245,9 @@ fn process_internal<S: Semiring>(
     // when the product is large (the top tree levels have few nodes but
     // big matrices, so without this the critical path would be
     // sequential).
-    use rayon::prelude::*;
-    let mut t = vec![S::zero(); nb * ns];
+    ws.t.clear();
+    ws.t.resize(nb * ns, S::zero());
+    let r = &ws.r;
     let t_row = |bi: usize, row: &mut [S::W]| {
         for (s2, cell) in row.iter_mut().enumerate() {
             let mut acc = S::zero();
@@ -216,15 +262,17 @@ fn process_internal<S: Semiring>(
         }
     };
     if nb * ns * ns >= 1 << 16 {
-        t.par_chunks_mut(ns.max(1))
+        ws.t.par_chunks_mut(ns.max(1))
             .enumerate()
             .for_each(|(bi, row)| t_row(bi, row));
     } else {
-        for bi in 0..nb {
-            t_row(bi, &mut t[bi * ns..(bi + 1) * ns]);
+        for (bi, row) in ws.t.chunks_mut(ns.max(1)).enumerate() {
+            t_row(bi, row);
         }
     }
-    let mut out_bb = direct;
+    let t = &ws.t;
+    let c = &ws.c;
+    let out_bb = &mut ws.direct;
     let out_row = |bi: usize, row: &mut [S::W]| {
         for (bj, cell) in row.iter_mut().enumerate() {
             let mut acc = *cell;
@@ -244,8 +292,7 @@ fn process_internal<S: Semiring>(
             .enumerate()
             .for_each(|(bi, row)| out_row(bi, row));
     } else {
-        for bi in 0..nb {
-            let row = &mut out_bb[bi * nb..(bi + 1) * nb];
+        for (bi, row) in out_bb.chunks_mut(nb.max(1)).enumerate() {
             out_row(bi, row);
         }
     }
@@ -280,5 +327,72 @@ fn process_internal<S: Semiring>(
         fw_ops: outcome.ops,
         limited_ops,
         absorbing: outcome.absorbing_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsep_graph::semiring::Tropical;
+
+    /// A dirty workspace must be indistinguishable from a fresh one: the
+    /// same node processed through a workspace that just handled a
+    /// *different* node must produce bit-identical output.
+    #[test]
+    fn workspace_reuse_leaks_no_state_between_nodes() {
+        // Two interfaces over disjoint vertex sets with different sizes.
+        let iface_a = Interface {
+            verts: vec![0, 1, 2],
+            sep_pos: vec![0, 1],
+            bnd_pos: vec![2],
+        };
+        let ci_a1 = Interface {
+            verts: vec![0, 1, 2],
+            sep_pos: vec![],
+            bnd_pos: vec![0, 1, 2],
+        };
+        let m_a1 = vec![0.0, 1.0, 7.0, 2.0, 0.0, 3.0, f64::INFINITY, 4.0, 0.0];
+        let ci_a2 = Interface {
+            verts: vec![1, 2],
+            sep_pos: vec![],
+            bnd_pos: vec![0, 1],
+        };
+        let m_a2 = vec![0.0, 0.5, 9.0, 0.0];
+
+        let iface_b = Interface {
+            verts: vec![5, 6, 7, 8],
+            sep_pos: vec![1, 2],
+            bnd_pos: vec![0, 3],
+        };
+        let ci_b = Interface {
+            verts: vec![5, 6, 7, 8],
+            sep_pos: vec![],
+            bnd_pos: vec![0, 1, 2, 3],
+        };
+        #[rustfmt::skip]
+        let m_b = vec![
+            0.0, 2.0, f64::INFINITY, 8.0,
+            1.0, 0.0, 3.0, f64::INFINITY,
+            2.5, 0.25, 0.0, 1.0,
+            f64::INFINITY, 6.0, 0.5, 0.0,
+        ];
+
+        let fresh = {
+            let mut ws = NodeWorkspace::<Tropical>::new();
+            process_internal::<Tropical>(&iface_a, &ci_a1, &m_a1, &ci_a2, &m_a2, &mut ws)
+        };
+        let reused = {
+            let mut ws = NodeWorkspace::<Tropical>::new();
+            // Dirty every buffer with node B first.
+            process_internal::<Tropical>(&iface_b, &ci_b, &m_b, &ci_b, &m_b, &mut ws);
+            process_internal::<Tropical>(&iface_a, &ci_a1, &m_a1, &ci_a2, &m_a2, &mut ws)
+        };
+        assert_eq!(fresh.mat.len(), reused.mat.len());
+        for (i, (x, y)) in fresh.mat.iter().zip(&reused.mat).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "cell {i}: {x} vs {y}");
+        }
+        assert_eq!(fresh.edges.len(), reused.edges.len());
+        assert_eq!(fresh.fw_ops, reused.fw_ops);
+        assert_eq!(fresh.raw_pairs, reused.raw_pairs);
     }
 }

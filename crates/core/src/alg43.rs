@@ -26,14 +26,16 @@
 //! Prop. 4.5 guarantees after the full round count.
 
 use crate::augment::{
-    dedupe_eplus, emit_node_edges, interfaces, leaf_iface_matrix, AugmentStats, Augmentation,
+    dedupe_eplus, emit_node_edges, interfaces, leaf_iface_matrix_ws, AugmentStats, Augmentation,
 };
+use crate::workspace::WorkspacePool;
 use crate::AbsorbingCycle;
 use rayon::prelude::*;
 use spsep_graph::dense::SemiMatrix;
 use spsep_graph::{DiGraph, Edge, Semiring};
-use spsep_pram::{Counter, Metrics};
+use spsep_pram::{Counter, Metrics, PhaseRecord};
 use spsep_separator::SepTree;
+use std::time::Instant;
 
 /// Compute `E⁺` with Algorithm 4.3. Also returns (via
 /// [`AugmentStats`]-adjacent metrics) the number of doubling rounds used.
@@ -46,7 +48,11 @@ pub fn augment_path_doubling<S: Semiring>(
     let ifaces = interfaces(tree);
     let num_nodes = tree.nodes().len();
 
-    // Step i: initialization.
+    // Step i: initialization. Leaf scratch comes from a shared pool so
+    // the phase allocates only the node matrices themselves.
+    let pool = WorkspacePool::<S>::new();
+    let init_start = Instant::now();
+    let work_before = metrics.total_work();
     metrics.phase(num_nodes);
     let init: Vec<(SemiMatrix<S>, u64, bool)> = (0..num_nodes)
         .into_par_iter()
@@ -55,14 +61,11 @@ pub fn augment_path_doubling<S: Semiring>(
             let iface = &ifaces[id];
             let k = iface.len();
             if node.is_leaf() {
-                let (flat, ops, absorbing) = leaf_iface_matrix::<S>(g, &node.vertices, iface);
-                let mut m = SemiMatrix::<S>::empty(k);
-                for a in 0..k {
-                    for b in 0..k {
-                        m.set(a, b, flat[a * k + b]);
-                    }
-                }
-                (m, ops, absorbing)
+                let mut ws = pool.acquire();
+                let (flat, ops, absorbing) =
+                    leaf_iface_matrix_ws::<S>(g, &node.vertices, iface, &mut ws);
+                pool.release(ws);
+                (SemiMatrix::from_flat(k, flat), ops, absorbing)
             } else {
                 let mut m = SemiMatrix::<S>::identity(k);
                 for (a, &va) in iface.verts.iter().enumerate() {
@@ -85,6 +88,15 @@ pub fn augment_path_doubling<S: Semiring>(
         absorbing |= abs;
         mats.push(m);
     }
+    let live_mat_bytes =
+        |mats: &[SemiMatrix<S>]| mats.iter().map(|m| m.heap_bytes() as u64).sum::<u64>();
+    metrics.record_phase(PhaseRecord {
+        label: "alg43/init".into(),
+        width: num_nodes,
+        wall_ns: init_start.elapsed().as_nanos() as u64,
+        ops: metrics.total_work() - work_before,
+        peak_bytes: live_mat_bytes(&mats) + pool.heap_bytes(),
+    });
     if absorbing {
         return Err(AbsorbingCycle);
     }
@@ -111,8 +123,10 @@ pub fn augment_path_doubling<S: Semiring>(
         + 2 * tree.height() as usize
         + 2;
     let mut rounds_used = 0usize;
-    for _round in 0..max_rounds {
+    for round in 0..max_rounds {
         rounds_used += 1;
+        let round_start = Instant::now();
+        let round_work_before = metrics.total_work();
         // ii(1): squaring, all nodes at once.
         metrics.phase(num_nodes);
         let outcomes: Vec<_> = mats
@@ -144,7 +158,6 @@ pub fn augment_path_doubling<S: Semiring>(
             // read-only deeper slice in parallel, then apply them.
             type Updates<W> = Vec<(u32, Vec<(u32, u32, W)>)>;
             let updates: Updates<S::W> = range
-                .clone()
                 .into_par_iter()
                 .map(|id| {
                     let node = &tree.nodes()[id as usize];
@@ -188,6 +201,13 @@ pub fn augment_path_doubling<S: Semiring>(
                 metrics.work(Counter::Doubling, 1);
             }
         }
+        metrics.record_phase(PhaseRecord {
+            label: format!("alg43/round {round}"),
+            width: num_nodes,
+            wall_ns: round_start.elapsed().as_nanos() as u64,
+            ops: metrics.total_work() - round_work_before,
+            peak_bytes: live_mat_bytes(&mats),
+        });
         if !changed && !merge_changed.into_inner() {
             break;
         }

@@ -34,8 +34,9 @@
 //! exactly this relation plus end-to-end distance correctness.
 
 use crate::augment::{
-    dedupe_eplus, interfaces, leaf_iface_matrix, AugmentStats, Augmentation,
+    dedupe_eplus, interfaces, leaf_iface_matrix_ws, AugmentStats, Augmentation,
 };
+use crate::workspace::NodeWorkspace;
 use crate::AbsorbingCycle;
 use rayon::prelude::*;
 use spsep_graph::{DiGraph, Edge, Semiring};
@@ -85,10 +86,12 @@ pub fn augment_shared_doubling<S: Semiring>(
     // leaves contribute dist_{G(leaf)}; original edges contribute w(e).
     let mut absorbing = false;
     metrics.phase(tree.nodes().len());
+    // One workspace serves the whole sequential init scan.
+    let mut ws = NodeWorkspace::<S>::new();
     for (id, node) in tree.nodes().iter().enumerate() {
         let iface = &ifaces[id];
         if node.is_leaf() {
-            let (mat, ops, abs) = leaf_iface_matrix::<S>(g, &node.vertices, iface);
+            let (mat, ops, abs) = leaf_iface_matrix_ws::<S>(g, &node.vertices, iface, &mut ws);
             metrics.work(Counter::FloydWarshall, ops);
             absorbing |= abs;
             let k = iface.len();

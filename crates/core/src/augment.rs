@@ -138,26 +138,113 @@ pub fn interfaces(tree: &SepTree) -> Vec<Interface> {
     tree.nodes().par_iter().map(Interface::of).collect()
 }
 
-/// Exact `dist_{G(t)}` over a **leaf**'s interface: Floyd–Warshall on the
-/// induced subgraph `G(t)` (leaves have O(1) vertices), projected to the
-/// interface positions. Returns `(matrix, fw_ops, absorbing_cycle)`.
+/// Leaves with at least this many vertices consider the sparse
+/// (multi-source Dijkstra) path; below it, dense Floyd–Warshall is
+/// trivially cheap.
+const SPARSE_LEAF_MIN_VERTS: usize = 24;
+/// … and the leaf must have at most this many edges per vertex
+/// (`m ≤ SPARSE_LEAF_MAX_AVG_DEGREE · k`, the "`m = O(k)`" density gate).
+const SPARSE_LEAF_MAX_AVG_DEGREE: usize = 6;
+
+/// Exact `dist_{G(t)}` over a **leaf**'s interface, allocating fresh
+/// buffers. Thin wrapper over [`leaf_iface_matrix_ws`] for callers
+/// without a workspace (tests, one-off uses).
 pub fn leaf_iface_matrix<S: Semiring>(
     g: &spsep_graph::DiGraph<S::W>,
     vertices: &[u32],
     iface: &Interface,
 ) -> (Vec<S::W>, u64, bool) {
+    let mut ws = crate::workspace::NodeWorkspace::new();
+    leaf_iface_matrix_ws::<S>(g, vertices, iface, &mut ws)
+}
+
+/// Exact `dist_{G(t)}` over a **leaf**'s interface, projected to the
+/// interface positions; scratch comes from `ws` (reset on use). Returns
+/// `(matrix, ops, absorbing_cycle)`.
+///
+/// Two engines behind one contract:
+///
+/// * **dense** — Floyd–Warshall on the induced subgraph (the paper's
+///   leaves have O(1) vertices, where this is optimal);
+/// * **sparse** — when the leaf is large (`k ≥ SPARSE_LEAF_MIN_VERTS`)
+///   but has `m = O(k)` edges, the semiring is selective, and every edge
+///   weight is non-improving (so label-setting is valid and no absorbing
+///   cycle can exist), multi-source Dijkstra from the interface vertices
+///   computes the same `|iface|²` projection in `O(|iface| · m log k)`
+///   instead of `k³`.
+///
+/// The gate is a pure function of the leaf, so the engine choice — and
+/// hence every output bit — is identical at every thread count.
+pub fn leaf_iface_matrix_ws<S: Semiring>(
+    g: &spsep_graph::DiGraph<S::W>,
+    vertices: &[u32],
+    iface: &Interface,
+    ws: &mut crate::workspace::NodeWorkspace<S>,
+) -> (Vec<S::W>, u64, bool) {
     let k = vertices.len();
-    let mut full = spsep_graph::dense::SemiMatrix::<S>::identity(k);
-    for (li, &v) in vertices.iter().enumerate() {
+    // Build the leaf CSR (local ids = positions in the sorted `vertices`)
+    // and check the label-setting precondition along the way.
+    ws.leaf_off.clear();
+    ws.leaf_to.clear();
+    ws.leaf_w.clear();
+    ws.leaf_off.push(0);
+    let mut nonimproving = true;
+    for &v in vertices {
         for e in g.out_edges(v as usize) {
             if let Ok(lj) = vertices.binary_search(&e.to) {
-                full.relax(li, lj, e.w);
+                ws.leaf_to.push(lj as u32);
+                ws.leaf_w.push(e.w);
+                nonimproving &= !S::better(e.w, S::one());
             }
+        }
+        ws.leaf_off.push(ws.leaf_to.len() as u32);
+    }
+    let m_edges = ws.leaf_to.len();
+
+    let m = iface.len();
+    let mut mat = vec![S::zero(); m * m];
+
+    let sparse_ok = S::is_selective()
+        && nonimproving
+        && k >= SPARSE_LEAF_MIN_VERTS
+        && m_edges <= SPARSE_LEAF_MAX_AVG_DEGREE * k;
+
+    if sparse_ok {
+        ws.sources.clear();
+        for &va in &iface.verts {
+            let ia = vertices
+                .binary_search(&va)
+                .unwrap_or_else(|_| unreachable!("iface ⊆ V(leaf)"));
+            ws.sources.push(ia as u32);
+        }
+        let ops = spsep_baselines::sssp_semiring_multi::<S>(
+            &ws.leaf_off,
+            &ws.leaf_to,
+            &ws.leaf_w,
+            &ws.sources,
+            &mut ws.dist_rows,
+            &mut ws.sssp,
+        );
+        for a in 0..m {
+            let row = &ws.dist_rows[a * k..(a + 1) * k];
+            for (b, cell) in mat[a * m..(a + 1) * m].iter_mut().enumerate() {
+                *cell = row[ws.sources[b] as usize];
+            }
+        }
+        // Non-improving weights mean no cycle can beat the empty path, so
+        // no absorbing cycle is possible here.
+        return (mat, ops, false);
+    }
+
+    let full = &mut ws.dense;
+    full.reset_identity(k);
+    for (li, off) in ws.leaf_off.windows(2).enumerate() {
+        let (lo, hi) = (off[0] as usize, off[1] as usize);
+        for (&lj, &w) in ws.leaf_to[lo..hi].iter().zip(&ws.leaf_w[lo..hi]) {
+            full.relax(li, lj as usize, w);
         }
     }
     let outcome = full.floyd_warshall();
-    let m = iface.len();
-    let mut mat = vec![S::zero(); m * m];
     for (a, &va) in iface.verts.iter().enumerate() {
         let ia = vertices
             .binary_search(&va)

@@ -50,6 +50,7 @@ pub mod query;
 pub mod reach;
 pub mod schedule;
 pub mod shortcuts;
+pub mod workspace;
 
 pub use augment::{AugmentStats, Augmentation};
 pub use error::SpsepError;

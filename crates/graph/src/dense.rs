@@ -7,46 +7,132 @@
 //! * [`SemiMatrix::square_step`] — one min-plus "path doubling" step
 //!   `A ← A ⊕ A⊗A` (Algorithm 4.3 step ii(1)).
 //!
-//! Both report their operation count so callers can charge the PRAM cost
-//! model, and whether an **absorbing cycle** (negative cycle under the
-//! tropical semiring) was exposed on the diagonal — the paper's comment
-//! (i) negative-cycle detection hooks in here.
+//! Both are **cache-blocked** (see DESIGN.md §8): `floyd_warshall` runs an
+//! order-preserving k-tiled schedule (full-matrix sweeps drop from `n` to
+//! `n / TILE`), and `square_step` multiplies against a packed transpose of
+//! `A` so the inner loop is two contiguous streams, double-buffered into a
+//! persistent scratch owned by the matrix (no per-call `clone()`).
+//!
+//! The blocking is *not* the textbook three-phase blocked FW: that variant
+//! closes panels before outer tiles, which re-associates path-weight sums
+//! and under `f64` min-plus can change result bits. Instead every cell here
+//! sees exactly the naive kernel's candidate sequence (`k` ascending, same
+//! operands, same `0̄` skip, `combine(old, cand)` with `old` first), so
+//! blocked and naive outputs are **bit-identical at every thread count** —
+//! the retained [`SemiMatrix::floyd_warshall_naive`] /
+//! [`SemiMatrix::square_step_naive`] reference kernels and the testkit
+//! differential suite enforce this.
+//!
+//! Both kernels report an honest [`KernelOutcome`]: `ops` counts the
+//! combine/extend pairs actually executed (the `0̄`-row skip is real work
+//! saved, not hidden), and `changed` reflects whether any entry improved.
+//! Callers charge the PRAM cost model from `ops`. The diagonal check for an
+//! **absorbing cycle** (negative cycle under the tropical semiring) hooks
+//! into the paper's comment (i) negative-cycle detection.
 
 use crate::semiring::Semiring;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Edge length of the `k`-tile used by the blocked Floyd–Warshall and the
+/// row-tile granularity of `square_step` change flags.
+pub const TILE: usize = 32;
+/// Rows per parallel task in the blocked FW outer phase: coarse enough to
+/// amortize scheduling, fine enough to load-balance.
+const FW_ROWCHUNK: usize = 8;
+/// Column-block width of the FW outer phase: with pivots outermost, one
+/// `FW_ROWCHUNK × FW_JBLOCK` row block (8 KiB of `f64`) plus one panel
+/// segment (1 KiB) stay L1-resident across all of a tile's pivots.
+const FW_JBLOCK: usize = 128;
+/// Minimum order before `floyd_warshall` fans rows out to the pool.
+const PAR_FW_MIN_N: usize = 128;
+/// Minimum order before `square_step` fans row-tiles out to the pool.
+const PAR_SQ_MIN_N: usize = 64;
 
 /// Outcome of a dense kernel: primitive operation count and whether some
 /// diagonal entry strictly improved on the empty path (an absorbing
 /// cycle).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelOutcome {
-    /// Inner-loop operations performed.
+    /// Inner-loop combine/extend pairs actually executed (skipped `0̄`
+    /// rows are not counted).
     pub ops: u64,
     /// `true` if an absorbing (e.g. negative) cycle was detected.
     pub absorbing_cycle: bool,
-    /// `true` if any entry changed.
+    /// `true` if any entry changed relative to the input matrix.
     pub changed: bool,
 }
 
 /// A dense `n × n` matrix of semiring weights, row-major.
-#[derive(Clone, Debug)]
+///
+/// Owns persistent scratch buffers (double-buffer target, packed
+/// transpose, per-row-tile change flags) so repeated kernel calls on the
+/// same matrix allocate nothing in steady state. `Clone` copies only the
+/// payload; the clone starts with empty scratch.
+#[derive(Debug)]
 pub struct SemiMatrix<S: Semiring> {
     n: usize,
     data: Vec<S::W>,
+    /// Double-buffer target for `square_step` / panel snapshots for
+    /// `floyd_warshall`. Contents are meaningless between calls.
+    scratch: Vec<S::W>,
+    /// Packed transpose of `data` built by `square_step`.
+    transpose: Vec<S::W>,
+    /// Per-row-tile change flags from the *last* `square_step` (empty =
+    /// unknown). Lets the next `square_step` of a doubling sequence skip
+    /// candidate `k` ranges that provably cannot improve anything.
+    tile_changed: Vec<bool>,
     _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Semiring> Clone for SemiMatrix<S> {
+    fn clone(&self) -> Self {
+        SemiMatrix {
+            n: self.n,
+            data: self.data.clone(),
+            scratch: Vec::new(),
+            transpose: Vec::new(),
+            tile_changed: self.tile_changed.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// `dst[j] ← combine(dst[j], extend(dik, src[j]))` over a block; returns
+/// whether any entry changed. Shared by the naive and blocked kernels so
+/// their per-cell operation is literally the same code.
+#[inline]
+fn relax_block<S: Semiring>(dst: &mut [S::W], dik: S::W, src: &[S::W]) -> bool {
+    let mut any = false;
+    for (c, &s) in dst.iter_mut().zip(src) {
+        let cur = *c;
+        let merged = S::combine(cur, S::extend(dik, s));
+        any |= merged != cur;
+        *c = merged;
+    }
+    any
 }
 
 impl<S: Semiring> SemiMatrix<S> {
     /// Matrix of all-`0̄` (no paths), with `1̄` on the diagonal (empty
     /// paths).
     pub fn identity(n: usize) -> Self {
-        let mut data = vec![S::zero(); n * n];
+        let mut m = Self::empty(n);
         for i in 0..n {
-            data[i * n + i] = S::one();
+            m.data[i * n + i] = S::one();
         }
+        m
+    }
+
+    /// Wrap an existing row-major payload (length `n²`) without copying.
+    pub fn from_flat(n: usize, data: Vec<S::W>) -> Self {
+        assert_eq!(data.len(), n * n, "payload must be n×n");
         SemiMatrix {
             n,
             data,
+            scratch: Vec::new(),
+            transpose: Vec::new(),
+            tile_changed: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -56,8 +142,28 @@ impl<S: Semiring> SemiMatrix<S> {
         SemiMatrix {
             n,
             data: vec![S::zero(); n * n],
+            scratch: Vec::new(),
+            transpose: Vec::new(),
+            tile_changed: Vec::new(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Reshape to an `n × n` identity, reusing the existing allocations.
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset_empty(n);
+        for i in 0..n {
+            self.data[i * n + i] = S::one();
+        }
+    }
+
+    /// Reshape to an `n × n` all-`0̄` matrix, reusing the existing
+    /// allocations.
+    pub fn reset_empty(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, S::zero());
+        self.tile_changed.clear();
     }
 
     /// Order of the matrix.
@@ -75,6 +181,7 @@ impl<S: Semiring> SemiMatrix<S> {
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, w: S::W) {
         self.data[i * self.n + j] = w;
+        self.tile_changed.clear();
     }
 
     /// `combine` `w` into entry `(i, j)` (keep the better of old and new).
@@ -82,6 +189,7 @@ impl<S: Semiring> SemiMatrix<S> {
     pub fn relax(&mut self, i: usize, j: usize, w: S::W) {
         let e = &mut self.data[i * self.n + j];
         *e = S::combine(*e, w);
+        self.tile_changed.clear();
     }
 
     /// Row `i` as a slice.
@@ -90,55 +198,343 @@ impl<S: Semiring> SemiMatrix<S> {
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
+    /// The whole payload, row-major (tests compare kernel outputs bit for
+    /// bit through this).
+    pub fn data(&self) -> &[S::W] {
+        &self.data
+    }
+
+    /// Bytes held by the payload and scratch buffers (capacity, not len) —
+    /// feeds the workspace peak-memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<S::W>()
+            * (self.data.capacity() + self.scratch.capacity() + self.transpose.capacity())
+            + self.tile_changed.capacity()
+    }
+
     /// In-place Floyd–Warshall. Diagonal should start at `1̄` (use
     /// [`SemiMatrix::identity`] + `relax` of the edges).
     ///
-    /// The `k` loop is inherently sequential; rows are processed in
-    /// parallel for large matrices.
+    /// Cache-blocked over `k`-tiles of [`TILE`]: for each tile the tile's
+    /// own rows are closed sequentially (snapshotting each row `k` at its
+    /// pre-step state into a panel), then all other rows apply the whole
+    /// tile in one parallel sweep, reading their `d(i,k)` pivots in `k`
+    /// order exactly as the naive kernel would. Per-cell candidate order is
+    /// identical to [`SemiMatrix::floyd_warshall_naive`], so the result is
+    /// bit-identical at every thread count; the win is `n/TILE` full-matrix
+    /// sweeps instead of `n`, plus an L1-blocked inner loop.
     pub fn floyd_warshall(&mut self) -> KernelOutcome {
         let n = self.n;
+        if n == 0 {
+            return KernelOutcome::default();
+        }
+        self.tile_changed.clear();
+        let tile = TILE.min(n);
+        let mut panel = std::mem::take(&mut self.scratch);
+        panel.clear();
+        panel.resize(tile * n, S::zero());
+        let ops = AtomicU64::new(0);
+        let changed = AtomicBool::new(false);
+
+        let mut t0 = 0usize;
+        while t0 < n {
+            let t1 = (t0 + tile).min(n);
+            let tb = t1 - t0;
+
+            // Phase 1 — tile rows, sequential, naive order. Row `k` is
+            // snapshotted at its pre-step-`k` state, which is exactly what
+            // the naive kernel's per-`k` row copy holds (step `k` may
+            // change row `k` itself when the diagonal is absorbing, so the
+            // snapshot, not the live row, is the operand both schedules
+            // must read).
+            for k in t0..t1 {
+                let pk = k - t0;
+                panel[pk * n..pk * n + n].copy_from_slice(&self.data[k * n..k * n + n]);
+                let mut ops1 = 0u64;
+                let mut ch1 = false;
+                for r in t0..t1 {
+                    let row = &mut self.data[r * n..r * n + n];
+                    let drk = row[k];
+                    if S::is_zero(drk) {
+                        continue;
+                    }
+                    ops1 += n as u64;
+                    ch1 |= relax_block::<S>(row, drk, &panel[pk * n..pk * n + n]);
+                }
+                ops.fetch_add(ops1, Ordering::Relaxed);
+                if ch1 {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            }
+
+            // Phase 2 — all rows outside the tile apply pivots
+            // k = t0..t1 in ascending order. Pass A sweeps the tile's own
+            // columns first, reading each `d(i,k)` *after* pivots < k have
+            // been applied to it (naive order) and latching it; pass B
+            // replays the latched pivots over the remaining columns in
+            // L1-sized blocks.
+            let outer_chunk = |ci: usize, chunk: &mut [S::W]| -> (u64, bool) {
+                let base_row = ci * FW_ROWCHUNK;
+                let mut diks = [[S::zero(); TILE]; FW_ROWCHUNK];
+                let mut o = 0u64;
+                let mut ch = false;
+                for (ri, row) in chunk.chunks_mut(n).enumerate() {
+                    let i = base_row + ri;
+                    if i >= t0 && i < t1 {
+                        continue;
+                    }
+                    for k in t0..t1 {
+                        let pk = k - t0;
+                        let dik = row[k];
+                        diks[ri][pk] = dik;
+                        if S::is_zero(dik) {
+                            continue;
+                        }
+                        o += tb as u64;
+                        ch |= relax_block::<S>(
+                            &mut row[t0..t1],
+                            dik,
+                            &panel[pk * n + t0..pk * n + t1],
+                        );
+                    }
+                }
+                let mut jb0 = 0usize;
+                while jb0 < n {
+                    let jb1 = (jb0 + FW_JBLOCK).min(n);
+                    // Split the block around the tile's columns (already
+                    // done in pass A). Pivots run *outside* the row loop
+                    // so each panel segment is read once per chunk rather
+                    // than once per row; per cell the pivots still arrive
+                    // in ascending `k` order, so the candidate sequence —
+                    // and hence every bit — matches the naive schedule.
+                    for (s0, s1) in [(jb0, jb1.min(t0)), (jb0.max(t1), jb1)] {
+                        if s0 >= s1 {
+                            continue;
+                        }
+                        for pk in 0..tb {
+                            let prow = &panel[pk * n + s0..pk * n + s1];
+                            for (ri, row) in chunk.chunks_mut(n).enumerate() {
+                                let i = base_row + ri;
+                                if i >= t0 && i < t1 {
+                                    continue;
+                                }
+                                let dik = diks[ri][pk];
+                                if S::is_zero(dik) {
+                                    continue;
+                                }
+                                o += (s1 - s0) as u64;
+                                ch |= relax_block::<S>(&mut row[s0..s1], dik, prow);
+                            }
+                        }
+                    }
+                    jb0 = jb1;
+                }
+                (o, ch)
+            };
+
+            if n >= PAR_FW_MIN_N {
+                self.data
+                    .par_chunks_mut(n * FW_ROWCHUNK)
+                    .enumerate()
+                    .for_each(|(ci, chunk)| {
+                        let (o, c) = outer_chunk(ci, chunk);
+                        ops.fetch_add(o, Ordering::Relaxed);
+                        if c {
+                            changed.store(true, Ordering::Relaxed);
+                        }
+                    });
+            } else {
+                for (ci, chunk) in self.data.chunks_mut(n * FW_ROWCHUNK).enumerate() {
+                    let (o, c) = outer_chunk(ci, chunk);
+                    ops.fetch_add(o, Ordering::Relaxed);
+                    if c {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            t0 = t1;
+        }
+
+        self.scratch = panel;
+        let absorbing = (0..n).any(|i| S::better(self.get(i, i), S::one()));
+        KernelOutcome {
+            ops: ops.into_inner(),
+            absorbing_cycle: absorbing,
+            changed: changed.into_inner(),
+        }
+    }
+
+    /// The pre-blocking Floyd–Warshall, retained as the bit-identity
+    /// reference and the bench baseline (it keeps the seed's per-`k`
+    /// `row_k` copy so the measured speedup is against the real former
+    /// kernel, with accounting made honest).
+    pub fn floyd_warshall_naive(&mut self) -> KernelOutcome {
+        let n = self.n;
+        if n == 0 {
+            return KernelOutcome::default();
+        }
+        self.tile_changed.clear();
+        let ops = AtomicU64::new(0);
+        let changed = AtomicBool::new(false);
         for k in 0..n {
             // Split out row k so rows can be updated in parallel without
             // aliasing it.
             let row_k = self.row(k).to_vec();
-            let process_row = |_i: usize, row_i: &mut [S::W]| {
+            let process_row = |row_i: &mut [S::W]| {
                 let dik = row_i[k];
                 if S::is_zero(dik) {
                     return;
                 }
-                for j in 0..n {
-                    row_i[j] = S::combine(row_i[j], S::extend(dik, row_k[j]));
+                ops.fetch_add(n as u64, Ordering::Relaxed);
+                if relax_block::<S>(row_i, dik, &row_k) {
+                    changed.store(true, Ordering::Relaxed);
                 }
             };
-            if n >= 128 {
+            if n >= PAR_FW_MIN_N {
                 self.data
                     .par_chunks_mut(n)
-                    .enumerate()
-                    .for_each(|(i, row_i)| process_row(i, row_i));
+                    .for_each(process_row);
             } else {
                 for i in 0..n {
-                    let row_i = &mut self.data[i * n..(i + 1) * n];
-                    process_row(i, row_i);
+                    process_row(&mut self.data[i * n..(i + 1) * n]);
                 }
             }
         }
         let absorbing = (0..n).any(|i| S::better(self.get(i, i), S::one()));
         KernelOutcome {
-            ops: (n as u64).pow(3),
+            ops: ops.into_inner(),
             absorbing_cycle: absorbing,
-            changed: true,
+            changed: changed.into_inner(),
         }
     }
 
     /// One path-doubling step `A ← A ⊕ (A ⊗ A)`; reports whether anything
     /// changed (Algorithm 4.3's iteration can stop early when no node
     /// changes).
+    ///
+    /// The product reads a packed transpose of `A` so both inner streams
+    /// are contiguous, and writes into the persistent double-buffer
+    /// scratch (no full-matrix `clone`). Change is tracked per row-tile of
+    /// [`TILE`] rows; inside a doubling sequence, rows whose tile did not
+    /// change last step only need to rescan candidate `k` ranges from
+    /// tiles that *did* change — for a selective semiring every skipped
+    /// candidate was already folded into the current entry with identical
+    /// bits, so the pruned step stays bit-identical to the naive one (see
+    /// DESIGN.md §8 for the argument).
     pub fn square_step(&mut self) -> KernelOutcome {
         let n = self.n;
+        if n == 0 {
+            return KernelOutcome::default();
+        }
+        let n_tiles = n.div_ceil(TILE);
+
+        let mut tbuf = std::mem::take(&mut self.transpose);
+        tbuf.clear();
+        tbuf.resize(n * n, S::zero());
+        pack_transpose::<S>(&self.data, &mut tbuf, n);
+
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        out.resize(n * n, S::zero());
+
+        let hint: Option<&[bool]> = if S::is_selective() && self.tile_changed.len() == n_tiles {
+            Some(&self.tile_changed)
+        } else {
+            None
+        };
+        let new_flags: Vec<AtomicBool> = (0..n_tiles).map(|_| AtomicBool::new(false)).collect();
+        let ops = AtomicU64::new(0);
+        let data = &self.data;
+        let tb = &tbuf;
+
+        let process_tile = |ti: usize, rows: &mut [S::W]| {
+            let full = hint.is_none_or(|h| h[ti]);
+            let mut o = 0u64;
+            let mut ch = false;
+            for (ri, out_row) in rows.chunks_mut(n).enumerate() {
+                let i = ti * TILE + ri;
+                let a = &data[i * n..(i + 1) * n];
+                for (j, slot) in out_row.iter_mut().enumerate() {
+                    let tj = &tb[j * n..(j + 1) * n];
+                    let mut acc = a[j];
+                    if full {
+                        for (&ik, &tk) in a.iter().zip(tj) {
+                            if S::is_zero(ik) {
+                                continue;
+                            }
+                            o += 1;
+                            acc = S::combine(acc, S::extend(ik, tk));
+                        }
+                    } else if let Some(h) = hint {
+                        // Only `k` in row-tiles that changed last step can
+                        // contribute a candidate not already folded in.
+                        for (kt, &chg) in h.iter().enumerate() {
+                            if !chg {
+                                continue;
+                            }
+                            let k0 = kt * TILE;
+                            let k1 = (k0 + TILE).min(n);
+                            for (&ik, &tk) in a[k0..k1].iter().zip(&tj[k0..k1]) {
+                                if S::is_zero(ik) {
+                                    continue;
+                                }
+                                o += 1;
+                                acc = S::combine(acc, S::extend(ik, tk));
+                            }
+                        }
+                    }
+                    ch |= acc != a[j];
+                    *slot = acc;
+                }
+            }
+            ops.fetch_add(o, Ordering::Relaxed);
+            if ch {
+                new_flags[ti].store(true, Ordering::Relaxed);
+            }
+        };
+
+        if n >= PAR_SQ_MIN_N {
+            out.par_chunks_mut(n * TILE)
+                .enumerate()
+                .for_each(|(ti, rows)| process_tile(ti, rows));
+        } else {
+            for (ti, rows) in out.chunks_mut(n * TILE).enumerate() {
+                process_tile(ti, rows);
+            }
+        }
+
+        let old = std::mem::replace(&mut self.data, out);
+        self.scratch = old;
+        self.transpose = tbuf;
+        self.tile_changed.clear();
+        self.tile_changed
+            .extend(new_flags.iter().map(|f| f.load(Ordering::Relaxed)));
+        let changed = self.tile_changed.iter().any(|&c| c);
+
+        let absorbing = (0..n).any(|i| S::better(self.get(i, i), S::one()));
+        KernelOutcome {
+            ops: ops.into_inner(),
+            absorbing_cycle: absorbing,
+            changed,
+        }
+    }
+
+    /// The pre-blocking `square_step`, retained as the bit-identity
+    /// reference and bench baseline: full-matrix `clone`, strided
+    /// `old[k*n + j]` reads, no change-flag pruning; accounting made
+    /// honest.
+    pub fn square_step_naive(&mut self) -> KernelOutcome {
+        let n = self.n;
+        if n == 0 {
+            return KernelOutcome::default();
+        }
+        self.tile_changed.clear();
         let old = self.data.clone();
-        let changed = std::sync::atomic::AtomicBool::new(false);
+        let ops = AtomicU64::new(0);
+        let changed = AtomicBool::new(false);
         let body = |i: usize, row_i: &mut [S::W]| {
             let mut local_change = false;
+            let mut o = 0u64;
             for j in 0..n {
                 let mut acc = row_i[j];
                 for k in 0..n {
@@ -146,6 +542,7 @@ impl<S: Semiring> SemiMatrix<S> {
                     if S::is_zero(ik) {
                         continue;
                     }
+                    o += 1;
                     acc = S::combine(acc, S::extend(ik, old[k * n + j]));
                 }
                 if acc != row_i[j] {
@@ -153,11 +550,12 @@ impl<S: Semiring> SemiMatrix<S> {
                     local_change = true;
                 }
             }
+            ops.fetch_add(o, Ordering::Relaxed);
             if local_change {
-                changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                changed.store(true, Ordering::Relaxed);
             }
         };
-        if n >= 64 {
+        if n >= PAR_SQ_MIN_N {
             self.data
                 .par_chunks_mut(n)
                 .enumerate()
@@ -171,7 +569,7 @@ impl<S: Semiring> SemiMatrix<S> {
         }
         let absorbing = (0..n).any(|i| S::better(self.get(i, i), S::one()));
         KernelOutcome {
-            ops: (n as u64).pow(3),
+            ops: ops.into_inner(),
             absorbing_cycle: absorbing,
             changed: changed.into_inner(),
         }
@@ -179,7 +577,8 @@ impl<S: Semiring> SemiMatrix<S> {
 
     /// All-pairs path weights by repeated squaring: `⌈log₂ n⌉` doubling
     /// steps (the classic `Õ(n³)` "transitive-closure bottleneck"
-    /// algorithm the paper's introduction contrasts against).
+    /// algorithm the paper's introduction contrasts against). Later steps
+    /// are pruned by the per-tile change flags of earlier ones.
     pub fn repeated_squaring(&mut self) -> KernelOutcome {
         let mut total = KernelOutcome::default();
         let mut span = 1usize;
@@ -194,6 +593,23 @@ impl<S: Semiring> SemiMatrix<S> {
             }
         }
         total
+    }
+}
+
+/// Pack `dst[j*n + i] = src[i*n + j]` with square blocking so both sides
+/// stay cache-resident.
+fn pack_transpose<S: Semiring>(src: &[S::W], dst: &mut [S::W], n: usize) {
+    for i0 in (0..n).step_by(TILE) {
+        let i1 = (i0 + TILE).min(n);
+        for j0 in (0..n).step_by(TILE) {
+            let j1 = (j0 + TILE).min(n);
+            for i in i0..i1 {
+                let row = &src[i * n..(i + 1) * n];
+                for j in j0..j1 {
+                    dst[j * n + i] = row[j];
+                }
+            }
+        }
     }
 }
 
@@ -212,16 +628,169 @@ mod tests {
         m
     }
 
+    /// Deterministic pseudo-random matrix with `0̄` holes and negative
+    /// weights, order `n`.
+    fn random_matrix(n: usize, seed: u64) -> SemiMatrix<Tropical> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut m = SemiMatrix::<Tropical>::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let r = next();
+                if r % 4 == 0 {
+                    continue; // leave a 0̄ hole
+                }
+                // Weights in [0.5, 8.5); keep them positive so random
+                // instances stay free of absorbing cycles (signed weights
+                // are covered by the dedicated cycle tests).
+                let w = 0.5 + (r % 1024) as f64 / 128.0;
+                m.set(i, j, w);
+            }
+        }
+        m
+    }
+
+    fn assert_bits_equal(a: &SemiMatrix<Tropical>, b: &SemiMatrix<Tropical>, context: &str) {
+        assert_eq!(a.n(), b.n(), "{context}: order");
+        for (idx, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{context}: cell {} ({x} vs {y})",
+                idx
+            );
+        }
+    }
+
     #[test]
     fn floyd_warshall_shortest_paths() {
         let mut m = sample();
         let out = m.floyd_warshall();
         assert!(!out.absorbing_cycle);
+        assert!(out.changed);
         assert_eq!(m.get(0, 2), 3.0);
         assert_eq!(m.get(0, 3), 4.0);
         assert_eq!(m.get(3, 0), f64::INFINITY);
         assert_eq!(m.get(1, 1), 0.0);
-        assert_eq!(out.ops, 64);
+        // Honest accounting: ops must equal the naive reference's count
+        // (same pivots executed, same `0̄` skips), not n³.
+        let naive = sample().floyd_warshall_naive();
+        assert_eq!(out.ops, naive.ops);
+        assert!(out.ops > 0);
+        assert!(out.ops < 64, "the 0̄ skip must be visible in the count");
+    }
+
+    #[test]
+    fn kernels_report_no_change_on_fixpoint() {
+        let mut m = sample();
+        m.floyd_warshall();
+        let again = m.floyd_warshall();
+        assert!(!again.changed, "closure is a fixpoint");
+        let sq = m.square_step();
+        assert!(!sq.changed);
+        let sq_naive = m.square_step_naive();
+        assert!(!sq_naive.changed);
+    }
+
+    #[test]
+    fn blocked_fw_bit_identical_to_naive_across_tile_boundaries() {
+        for n in [1, TILE - 1, TILE, TILE + 1, 3 * TILE + 5] {
+            let base = random_matrix(n, 42 + n as u64);
+            let mut blocked = base.clone();
+            let mut naive = base.clone();
+            let ob = blocked.floyd_warshall();
+            let on = naive.floyd_warshall_naive();
+            assert_bits_equal(&blocked, &naive, &format!("fw n={n}"));
+            assert_eq!(ob.ops, on.ops, "fw ops n={n}");
+            assert_eq!(ob.changed, on.changed, "fw changed n={n}");
+            assert_eq!(ob.absorbing_cycle, on.absorbing_cycle, "fw cycle n={n}");
+        }
+    }
+
+    #[test]
+    fn blocked_square_bit_identical_to_naive_across_tile_boundaries() {
+        for n in [1, TILE - 1, TILE, TILE + 1, 3 * TILE + 5] {
+            let base = random_matrix(n, 7 + n as u64);
+            let mut blocked = base.clone();
+            let mut naive = base.clone();
+            let ob = blocked.square_step();
+            let on = naive.square_step_naive();
+            assert_bits_equal(&blocked, &naive, &format!("square n={n}"));
+            assert_eq!(ob.ops, on.ops, "square ops n={n}");
+            assert_eq!(ob.changed, on.changed, "square changed n={n}");
+        }
+    }
+
+    #[test]
+    fn pruned_doubling_sequence_matches_naive_sequence() {
+        // Drive both kernels to the closure fixpoint; the blocked side
+        // prunes later steps with per-tile change flags, which must not
+        // change a single bit.
+        for n in [TILE + 3, 2 * TILE, 3 * TILE + 5] {
+            let base = random_matrix(n, 1000 + n as u64);
+            let mut blocked = base.clone();
+            let mut naive = base.clone();
+            loop {
+                let ob = blocked.square_step();
+                let on = naive.square_step_naive();
+                assert_eq!(ob.changed, on.changed, "changed diverged at n={n}");
+                if !on.changed {
+                    break;
+                }
+            }
+            assert_bits_equal(&blocked, &naive, &format!("doubling sequence n={n}"));
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_bit_identical_across_thread_counts() {
+        // Past PAR_FW_MIN_N so the pool actually fans out.
+        let n = 5 * TILE;
+        let base = random_matrix(n, 99);
+        let reference = {
+            let mut m = base.clone();
+            rayon::with_max_threads(1, || m.floyd_warshall());
+            m
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let mut m = base.clone();
+            rayon::with_max_threads(threads, || m.floyd_warshall());
+            assert_bits_equal(&reference, &m, &format!("fw at {threads} threads"));
+            let mut sq = base.clone();
+            let mut sq_ref = base.clone();
+            rayon::with_max_threads(threads, || sq.repeated_squaring());
+            rayon::with_max_threads(1, || sq_ref.repeated_squaring());
+            assert_bits_equal(&sq_ref, &sq, &format!("squaring at {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_without_state_leaks() {
+        let mut m = random_matrix(3 * TILE + 5, 5);
+        m.floyd_warshall();
+        m.square_step();
+        let cap_before = m.data.capacity();
+        m.reset_identity(TILE + 1);
+        let mut fresh = SemiMatrix::<Tropical>::identity(TILE + 1);
+        assert_bits_equal(&fresh, &m, "reset_identity");
+        assert!(m.data.capacity() >= cap_before.min((TILE + 1) * (TILE + 1)));
+        // A dirtied-then-reset matrix must behave exactly like a fresh one.
+        for (i, j, w) in [(0, 1, 2.0), (1, 2, 0.5), (2, 0, 4.0)] {
+            m.relax(i, j, w);
+            fresh.relax(i, j, w);
+        }
+        let om = m.floyd_warshall();
+        let of = fresh.floyd_warshall();
+        assert_bits_equal(&fresh, &m, "post-reset closure");
+        assert_eq!(om, of);
     }
 
     #[test]
@@ -297,5 +866,11 @@ mod tests {
         assert!(!out.absorbing_cycle);
         assert_eq!(m.get(0, n - 1), (n - 1) as f64);
         assert_eq!(m.get(5, 4), (n - 1) as f64);
+        let mut naive = SemiMatrix::<Tropical>::identity(n);
+        for i in 0..n {
+            naive.relax(i, (i + 1) % n, 1.0);
+        }
+        naive.floyd_warshall_naive();
+        assert_bits_equal(&naive, &m, "ring fw");
     }
 }

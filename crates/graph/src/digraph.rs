@@ -85,6 +85,9 @@ impl<W: Copy> DiGraph<W> {
         }
         let mut out_adj = vec![0u32; edges.len()];
         let mut in_adj = vec![0u32; edges.len()];
+        // Intentional clones: the scatter below advances these as write
+        // cursors, one per row, while the originals survive untouched as
+        // the CSR row starts.
         let mut out_cursor = out_off.clone();
         let mut in_cursor = in_off.clone();
         for (id, e) in edges.iter().enumerate() {

@@ -86,6 +86,18 @@ pub trait Semiring: Copy + Clone + Send + Sync + Debug + 'static {
     fn approx_eq(a: Self::W, b: Self::W) -> bool {
         a == b
     }
+
+    /// `true` if `combine` is a *selection*: it always returns one of its
+    /// two arguments, ordered by a total preorder, keeping `a` on ties
+    /// (the determinism convention every instance here follows). Selective
+    /// semirings admit Dijkstra-style label-setting (the sparse-leaf path
+    /// in `spsep-core`) and the change-flag pruning of the doubling kernel
+    /// in [`crate::dense`]. Defaults to `false` so third-party semirings
+    /// opt in explicitly.
+    #[inline]
+    fn is_selective() -> bool {
+        false
+    }
 }
 
 /// Relative-tolerance comparison for `f64` path weights.
@@ -151,6 +163,11 @@ impl Semiring for Tropical {
     fn absorbing_cycle(w: f64) -> bool {
         w < 0.0
     }
+
+    #[inline]
+    fn is_selective() -> bool {
+        true
+    }
 }
 
 /// Shortest paths with integer weights: `(ℤ ∪ {+∞}, min, +, +∞, 0)`.
@@ -195,6 +212,11 @@ impl Semiring for TropicalInt {
     fn absorbing_cycle(w: i64) -> bool {
         w < 0
     }
+
+    #[inline]
+    fn is_selective() -> bool {
+        true
+    }
 }
 
 /// Reachability: `({false, true}, ∨, ∧, false, true)`.
@@ -236,6 +258,11 @@ impl Semiring for Boolean {
     #[inline]
     fn absorbing_cycle(_w: bool) -> bool {
         false
+    }
+
+    #[inline]
+    fn is_selective() -> bool {
+        true
     }
 }
 
@@ -287,6 +314,11 @@ impl Semiring for MaxPlus {
     #[inline]
     fn absorbing_cycle(w: f64) -> bool {
         w > 0.0
+    }
+
+    #[inline]
+    fn is_selective() -> bool {
+        true
     }
 }
 
@@ -343,6 +375,11 @@ impl Semiring for Bottleneck {
     fn absorbing_cycle(_w: f64) -> bool {
         false
     }
+
+    #[inline]
+    fn is_selective() -> bool {
+        true
+    }
 }
 
 /// Most-reliable paths: `([0,1], max, ×, 0, 1)`.
@@ -392,6 +429,11 @@ impl Semiring for Reliability {
     #[inline]
     fn absorbing_cycle(w: f64) -> bool {
         w > 1.0
+    }
+
+    #[inline]
+    fn is_selective() -> bool {
+        true
     }
 }
 
@@ -499,6 +541,31 @@ mod tests {
         assert!(!Boolean::absorbing_cycle(true));
         assert!(!Bottleneck::absorbing_cycle(9.0));
         assert!(!Reliability::absorbing_cycle(0.9));
+    }
+
+    /// If a semiring claims to be selective, `combine` must return one of
+    /// its arguments (bitwise, keeping `a` on ties) on every sample pair.
+    fn check_selective<S: Semiring>(samples: &[S::W]) {
+        assert!(S::is_selective());
+        for &a in samples {
+            for &b in samples {
+                let c = S::combine(a, b);
+                assert!(c == a || c == b, "combine({a:?}, {b:?}) = {c:?}");
+                if a == b {
+                    assert_eq!(c, a, "ties must keep the first argument");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_semirings_are_selective() {
+        check_selective::<Tropical>(&[0.0, 1.0, -2.5, 7.25, f64::INFINITY]);
+        check_selective::<TropicalInt>(&[0, 1, -2, 100, i64::MAX]);
+        check_selective::<Boolean>(&[false, true]);
+        check_selective::<MaxPlus>(&[0.0, 1.0, -2.5, f64::NEG_INFINITY]);
+        check_selective::<Bottleneck>(&[0.0, -2.5, f64::NEG_INFINITY, f64::INFINITY]);
+        check_selective::<Reliability>(&[0.0, 0.25, 0.5, 1.0]);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! numbers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Kinds of primitive work the algorithms charge for.
 ///
@@ -48,12 +49,32 @@ pub enum Counter {
 
 const NUM_COUNTERS: usize = 6;
 
+/// One profiled algorithm phase: what it was, how wide it fanned out, how
+/// long it really took, how much model work it charged, and the peak
+/// bytes of matrices + workspaces live while it ran. Recorded by the
+/// augmentation drivers (one per tree level / doubling round) so
+/// experiments can show *where* the wall time goes, not just totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Phase label, e.g. `"alg41/level 3"` or `"alg43/round 2"`.
+    pub label: String,
+    /// Parallel width of the phase (items fanned out).
+    pub width: usize,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Model work charged during the phase (delta of `total_work`).
+    pub ops: u64,
+    /// Peak live bytes of node matrices + workspaces observed.
+    pub peak_bytes: u64,
+}
+
 /// Work/depth accumulator. Cheap to share (`&Metrics`) across rayon tasks.
 #[derive(Debug, Default)]
 pub struct Metrics {
     work: [AtomicU64; NUM_COUNTERS],
     depth: AtomicU64,
     phases: AtomicU64,
+    phase_log: Mutex<Vec<PhaseRecord>>,
 }
 
 impl Metrics {
@@ -95,6 +116,22 @@ impl Metrics {
     /// Number of parallel phases charged.
     pub fn phases(&self) -> u64 {
         self.phases.load(Ordering::Relaxed)
+    }
+
+    /// Append one profiled phase to the phase log. Callers record phases
+    /// sequentially (levels, rounds), so the log order is deterministic.
+    pub fn record_phase(&self, record: PhaseRecord) {
+        if let Ok(mut log) = self.phase_log.lock() {
+            log.push(record);
+        }
+    }
+
+    /// Snapshot of the profiled phases recorded so far, in record order.
+    pub fn phase_records(&self) -> Vec<PhaseRecord> {
+        self.phase_log
+            .lock()
+            .map(|log| log.clone())
+            .unwrap_or_default()
     }
 
     /// Snapshot for reporting.
@@ -241,6 +278,32 @@ mod tests {
             m.work(Counter::Relaxation, 1);
         });
         assert_eq!(m.work_of(Counter::Relaxation), 1000);
+    }
+
+    #[test]
+    fn phase_records_keep_order_and_content() {
+        let m = Metrics::new();
+        assert!(m.phase_records().is_empty());
+        m.record_phase(PhaseRecord {
+            label: "alg41/level 1".into(),
+            width: 4,
+            wall_ns: 123,
+            ops: 99,
+            peak_bytes: 4096,
+        });
+        m.record_phase(PhaseRecord {
+            label: "alg41/level 0".into(),
+            width: 1,
+            wall_ns: 456,
+            ops: 1,
+            peak_bytes: 8192,
+        });
+        let log = m.phase_records();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].label, "alg41/level 1");
+        assert_eq!(log[0].ops, 99);
+        assert_eq!(log[1].wall_ns, 456);
+        assert_eq!(log[1].peak_bytes, 8192);
     }
 
     #[test]

@@ -126,6 +126,70 @@ fn reachability_closure_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn blocked_kernels_match_naive_on_every_family_and_thread_count() {
+    // The dense-kernel contract behind all of the above: the k-tiled
+    // `floyd_warshall` and the transpose-packed `square_step` must equal
+    // their naive references bit for bit on real family matrices — at
+    // every thread count (the blocked outer phase fans out over row
+    // chunks; the naive kernels over single rows). n is chosen past the
+    // parallel thresholds so the pool genuinely engages.
+    use spsep_graph::dense::SemiMatrix;
+    const KERNEL_N: usize = 160;
+    for family in Family::all() {
+        let (g, _) = family.instance(KERNEL_N * 2, SEED);
+        let n = KERNEL_N.min(g.n());
+        let mut base = SemiMatrix::<Tropical>::identity(n);
+        for u in 0..n {
+            for e in g.out_edges(u) {
+                let v = e.to as usize;
+                if v < n && v != u {
+                    base.relax(u, v, e.w);
+                }
+            }
+        }
+
+        let fw_ref = with_max_threads(1, || {
+            let mut m = base.clone();
+            let o = m.floyd_warshall_naive();
+            (m, o)
+        });
+        let sq_ref = with_max_threads(1, || {
+            let mut m = base.clone();
+            let o = m.square_step_naive();
+            (m, o)
+        });
+        for threads in THREAD_COUNTS {
+            let (fw, fw_o) = with_max_threads(threads, || {
+                let mut m = base.clone();
+                let o = m.floyd_warshall();
+                (m, o)
+            });
+            let context = format!("{} fw at {threads} threads", family.label());
+            assert_eq!(fw_o.ops, fw_ref.1.ops, "{context}: ops");
+            assert_eq!(
+                fw_o.absorbing_cycle, fw_ref.1.absorbing_cycle,
+                "{context}: absorbing"
+            );
+            for (i, (a, b)) in fw.data().iter().zip(fw_ref.0.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{context}: cell {i}: {a} vs {b}");
+            }
+
+            let (sq, sq_o) = with_max_threads(threads, || {
+                let mut m = base.clone();
+                let o = m.square_step();
+                (m, o)
+            });
+            let context = format!("{} square at {threads} threads", family.label());
+            assert_eq!(sq_o.ops, sq_ref.1.ops, "{context}: ops");
+            assert_eq!(sq_o.changed, sq_ref.1.changed, "{context}: changed");
+            for (i, (a, b)) in sq.data().iter().zip(sq_ref.0.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{context}: cell {i}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
 fn fallback_path_is_bit_identical_across_thread_counts() {
     // A zero E+ budget forces the baseline path; its par_iter'd solvers
     // are bound by the same determinism contract as the fast path.
