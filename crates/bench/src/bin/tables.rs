@@ -5,22 +5,30 @@
 //! cargo run --release -p spsep-bench --bin tables -- e1 fig2 # a subset
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e16 --kernels-out BENCH_kernels.json     # kernel bench + artifact
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e17 --phases-out BENCH_phases.json       # phase bench + artifact
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e17 --phases-in BENCH_phases.json        # re-render the artifact
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 check
+//! e15 e16 e17 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
-//! `spsep-kernel-bench/v1` JSON artifact of E16; `--smoke` shrinks E16
-//! to CI-sized instances.
+//! `spsep-kernel-bench/v1` JSON artifact of E16; `--phases-out <path>`
+//! writes the `spsep-phase-bench/v1` artifact of E17; `--phases-in
+//! <path>` renders E17 from a committed artifact instead of
+//! re-measuring; `--smoke` shrinks E16/E17 to CI-sized instances.
 
-use spsep_bench::{experiments, kernels};
+use spsep_bench::{experiments, kernels, phases};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut kernels_out: Option<String> = None;
+    let mut phases_out: Option<String> = None;
+    let mut phases_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -28,6 +36,12 @@ fn main() {
             "--smoke" => smoke = true,
             "--kernels-out" => {
                 kernels_out = Some(it.next().expect("--kernels-out needs a path"));
+            }
+            "--phases-out" => {
+                phases_out = Some(it.next().expect("--phases-out needs a path"));
+            }
+            "--phases-in" => {
+                phases_in = Some(it.next().expect("--phases-in needs a path"));
             }
             _ => args.push(a),
         }
@@ -106,6 +120,26 @@ fn main() {
         if let Some(path) = &kernels_out {
             std::fs::write(path, &json).expect("write kernels artifact");
             eprintln!("[tables] wrote {path} ({entries} entries)");
+        }
+    }
+    if want("e17") || phases_out.is_some() || phases_in.is_some() {
+        if let Some(path) = &phases_in {
+            let json = std::fs::read_to_string(path).expect("read phases artifact");
+            let records = phases::read_phases_json(&json).expect("artifact schema");
+            println!(
+                "{hr}\nE17 — phase breakdown from {path} ({} entries):\n\n{}",
+                records.len(),
+                phases::render_phase_table(&records)
+            );
+        } else {
+            let (report, records) = phases::e17_phase_breakdown(smoke);
+            println!("{hr}\n{report}");
+            let json = phases::phases_json(&records);
+            let entries = phases::validate_phases_json(&json).expect("artifact schema");
+            if let Some(path) = &phases_out {
+                std::fs::write(path, &json).expect("write phases artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
         }
     }
     if want("check") {

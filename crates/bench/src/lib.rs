@@ -7,7 +7,9 @@
 
 pub mod experiments;
 pub mod families;
+mod jsonv;
 pub mod kernels;
+pub mod phases;
 
 /// Fixed-width table printer for experiment output.
 pub struct Table {

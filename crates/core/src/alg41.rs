@@ -46,6 +46,7 @@ pub(crate) struct NodeOutput<S: Semiring> {
     edges: Vec<Edge<S::W>>,
     raw_pairs: usize,
     fw_ops: u64,
+    dijkstra_ops: u64,
     limited_ops: u64,
     absorbing: bool,
 }
@@ -72,6 +73,7 @@ pub fn augment_leaves_up<S: Semiring>(
             continue;
         }
         let width = range.len();
+        let mut level_span = spsep_trace::span!("alg41.level", level = depth, width = width);
         let level_start = Instant::now();
         let work_before = metrics.total_work();
         metrics.phase(width);
@@ -107,6 +109,7 @@ pub fn augment_leaves_up<S: Semiring>(
         let mut level_peak = live_bytes;
         for (id, out) in outputs {
             metrics.work(Counter::FloydWarshall, out.fw_ops);
+            metrics.work(Counter::Dijkstra, out.dijkstra_ops);
             metrics.work(Counter::Limited, out.limited_ops);
             absorbing |= out.absorbing;
             raw_pairs += out.raw_pairs;
@@ -124,11 +127,15 @@ pub fn augment_leaves_up<S: Semiring>(
                 }
             }
         }
+        let level_ops = metrics.total_work() - work_before;
+        level_span.add_ops(level_ops);
+        level_span.add_bytes(level_peak);
+        drop(level_span);
         metrics.record_phase(PhaseRecord {
             label: format!("alg41/level {depth}"),
             width,
             wall_ns: level_start.elapsed().as_nanos() as u64,
-            ops: metrics.total_work() - work_before,
+            ops: level_ops,
             peak_bytes: level_peak,
         });
         if absorbing {
@@ -155,8 +162,7 @@ fn process_leaf<S: Semiring>(
     iface: &Interface,
     ws: &mut NodeWorkspace<S>,
 ) -> NodeOutput<S> {
-    let (mat, fw_ops, absorbing) =
-        crate::augment::leaf_iface_matrix_ws::<S>(g, vertices, iface, ws);
+    let (mat, outcome) = crate::augment::leaf_iface_matrix_ws::<S>(g, vertices, iface, ws);
     let mut edges = Vec::new();
     let mut raw_pairs = 0usize;
     emit_node_edges::<S>(iface, &mat, &mut edges, &mut raw_pairs);
@@ -164,9 +170,10 @@ fn process_leaf<S: Semiring>(
         mat,
         edges,
         raw_pairs,
-        fw_ops,
+        fw_ops: if outcome.sparse { 0 } else { outcome.ops },
+        dijkstra_ops: if outcome.sparse { outcome.ops } else { 0 },
         limited_ops: 0,
-        absorbing,
+        absorbing: outcome.absorbing_cycle,
     }
 }
 
@@ -325,6 +332,7 @@ pub(crate) fn process_internal<S: Semiring>(
         edges,
         raw_pairs,
         fw_ops: outcome.ops,
+        dijkstra_ops: 0,
         limited_ops,
         absorbing: outcome.absorbing_cycle,
     }

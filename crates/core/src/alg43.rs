@@ -27,6 +27,7 @@
 
 use crate::augment::{
     dedupe_eplus, emit_node_edges, interfaces, leaf_iface_matrix_ws, AugmentStats, Augmentation,
+    LeafOutcome,
 };
 use crate::workspace::WorkspacePool;
 use crate::AbsorbingCycle;
@@ -51,10 +52,11 @@ pub fn augment_path_doubling<S: Semiring>(
     // Step i: initialization. Leaf scratch comes from a shared pool so
     // the phase allocates only the node matrices themselves.
     let pool = WorkspacePool::<S>::new();
+    let mut init_span = spsep_trace::span!("alg43.init", width = num_nodes);
     let init_start = Instant::now();
     let work_before = metrics.total_work();
     metrics.phase(num_nodes);
-    let init: Vec<(SemiMatrix<S>, u64, bool)> = (0..num_nodes)
+    let init: Vec<(SemiMatrix<S>, LeafOutcome)> = (0..num_nodes)
         .into_par_iter()
         .map(|id| {
             let node = &tree.nodes()[id];
@@ -62,10 +64,10 @@ pub fn augment_path_doubling<S: Semiring>(
             let k = iface.len();
             if node.is_leaf() {
                 let mut ws = pool.acquire();
-                let (flat, ops, absorbing) =
+                let (flat, outcome) =
                     leaf_iface_matrix_ws::<S>(g, &node.vertices, iface, &mut ws);
                 pool.release(ws);
-                (SemiMatrix::from_flat(k, flat), ops, absorbing)
+                (SemiMatrix::from_flat(k, flat), outcome)
             } else {
                 let mut m = SemiMatrix::<S>::identity(k);
                 for (a, &va) in iface.verts.iter().enumerate() {
@@ -77,25 +79,42 @@ pub fn augment_path_doubling<S: Semiring>(
                         }
                     }
                 }
-                (m, 0, false)
+                (
+                    m,
+                    LeafOutcome {
+                        ops: 0,
+                        sparse: false,
+                        absorbing_cycle: false,
+                    },
+                )
             }
         })
         .collect();
     let mut absorbing = false;
     let mut mats: Vec<SemiMatrix<S>> = Vec::with_capacity(num_nodes);
-    for (m, ops, abs) in init {
-        metrics.work(Counter::FloydWarshall, ops);
-        absorbing |= abs;
+    for (m, outcome) in init {
+        let kind = if outcome.sparse {
+            Counter::Dijkstra
+        } else {
+            Counter::FloydWarshall
+        };
+        metrics.work(kind, outcome.ops);
+        absorbing |= outcome.absorbing_cycle;
         mats.push(m);
     }
     let live_mat_bytes =
         |mats: &[SemiMatrix<S>]| mats.iter().map(|m| m.heap_bytes() as u64).sum::<u64>();
+    let init_ops = metrics.total_work() - work_before;
+    let init_bytes = live_mat_bytes(&mats) + pool.heap_bytes();
+    init_span.add_ops(init_ops);
+    init_span.add_bytes(init_bytes);
+    drop(init_span);
     metrics.record_phase(PhaseRecord {
         label: "alg43/init".into(),
         width: num_nodes,
         wall_ns: init_start.elapsed().as_nanos() as u64,
-        ops: metrics.total_work() - work_before,
-        peak_bytes: live_mat_bytes(&mats) + pool.heap_bytes(),
+        ops: init_ops,
+        peak_bytes: init_bytes,
     });
     if absorbing {
         return Err(AbsorbingCycle);
@@ -125,6 +144,7 @@ pub fn augment_path_doubling<S: Semiring>(
     let mut rounds_used = 0usize;
     for round in 0..max_rounds {
         rounds_used += 1;
+        let mut round_span = spsep_trace::span!("alg43.round", round = round, width = num_nodes);
         let round_start = Instant::now();
         let round_work_before = metrics.total_work();
         // ii(1): squaring, all nodes at once.
@@ -201,11 +221,15 @@ pub fn augment_path_doubling<S: Semiring>(
                 metrics.work(Counter::Doubling, 1);
             }
         }
+        let round_ops = metrics.total_work() - round_work_before;
+        round_span.add_ops(round_ops);
+        round_span.add_bytes(live_mat_bytes(&mats));
+        drop(round_span);
         metrics.record_phase(PhaseRecord {
             label: format!("alg43/round {round}"),
             width: num_nodes,
             wall_ns: round_start.elapsed().as_nanos() as u64,
-            ops: metrics.total_work() - round_work_before,
+            ops: round_ops,
             peak_bytes: live_mat_bytes(&mats),
         });
         if !changed && !merge_changed.into_inner() {

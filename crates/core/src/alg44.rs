@@ -40,9 +40,10 @@ use crate::workspace::NodeWorkspace;
 use crate::AbsorbingCycle;
 use rayon::prelude::*;
 use spsep_graph::{DiGraph, Edge, Semiring};
-use spsep_pram::{Counter, Metrics};
+use spsep_pram::{Counter, Metrics, PhaseRecord};
 use spsep_separator::SepTree;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Compute `E⁺` with the Remark 4.4 shared-table doubling.
 ///
@@ -84,16 +85,28 @@ pub fn augment_shared_doubling<S: Semiring>(
 
     // --- Initialization (step i of Alg 4.3, shared): -------------------
     // leaves contribute dist_{G(leaf)}; original edges contribute w(e).
+    let shared_bytes = |pairs: &Vec<(u32, u32)>, weight: &Vec<S::W>| {
+        (pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + weight.capacity() * std::mem::size_of::<S::W>()) as u64
+    };
     let mut absorbing = false;
+    let mut init_span = spsep_trace::span!("alg44.init", width = tree.nodes().len());
+    let init_start = Instant::now();
+    let init_work_before = metrics.total_work();
     metrics.phase(tree.nodes().len());
     // One workspace serves the whole sequential init scan.
     let mut ws = NodeWorkspace::<S>::new();
     for (id, node) in tree.nodes().iter().enumerate() {
         let iface = &ifaces[id];
         if node.is_leaf() {
-            let (mat, ops, abs) = leaf_iface_matrix_ws::<S>(g, &node.vertices, iface, &mut ws);
-            metrics.work(Counter::FloydWarshall, ops);
-            absorbing |= abs;
+            let (mat, outcome) = leaf_iface_matrix_ws::<S>(g, &node.vertices, iface, &mut ws);
+            let kind = if outcome.sparse {
+                Counter::Dijkstra
+            } else {
+                Counter::FloydWarshall
+            };
+            metrics.work(kind, outcome.ops);
+            absorbing |= outcome.absorbing_cycle;
             let k = iface.len();
             for a in 0..k {
                 for b in 0..k {
@@ -121,6 +134,17 @@ pub fn augment_shared_doubling<S: Semiring>(
             }
         }
     }
+    let init_ops = metrics.total_work() - init_work_before;
+    init_span.add_ops(init_ops);
+    init_span.add_bytes(shared_bytes(&pairs, &weight));
+    drop(init_span);
+    metrics.record_phase(PhaseRecord {
+        label: "alg44/init".into(),
+        width: tree.nodes().len(),
+        wall_ns: init_start.elapsed().as_nanos() as u64,
+        ops: init_ops,
+        peak_bytes: shared_bytes(&pairs, &weight),
+    });
     if absorbing {
         return Err(AbsorbingCycle);
     }
@@ -129,6 +153,9 @@ pub fn augment_shared_doubling<S: Semiring>(
     // Triple (u1,u2,u3) ⇒ relax slot(u1,u3) by slot(u1,u2) ⊗ slot(u2,u3).
     // Grouped by the *target* slot so rounds can run group-parallel
     // without write conflicts.
+    let mut table_span = spsep_trace::span!("alg44.table");
+    let table_start = Instant::now();
+    let table_work_before = metrics.total_work();
     let mut triples: Vec<(u32, u32, u32)> = Vec::new(); // (target, left, right)
     for iface in &ifaces {
         let k = iface.len();
@@ -165,12 +192,30 @@ pub fn augment_shared_doubling<S: Semiring>(
             groups.push((target, start, i as u32));
         }
     }
+    let table_bytes = (triples.capacity() * std::mem::size_of::<(u32, u32, u32)>()
+        + groups.capacity() * std::mem::size_of::<(u32, u32, u32)>()) as u64
+        + shared_bytes(&pairs, &weight);
+    let table_ops = metrics.total_work() - table_work_before;
+    table_span.add_ops(table_ops);
+    table_span.add_bytes(table_bytes);
+    drop(table_span);
+    metrics.record_phase(PhaseRecord {
+        label: "alg44/table".into(),
+        width: tree.nodes().len(),
+        wall_ns: table_start.elapsed().as_nanos() as u64,
+        ops: table_ops,
+        peak_bytes: table_bytes,
+    });
 
     // --- Doubling rounds. ----------------------------------------------
     let max_rounds = 2 * (usize::BITS - g.n().max(2).leading_zeros()) as usize
         + 2 * tree.height() as usize
         + 2;
-    for _round in 0..max_rounds {
+    for round in 0..max_rounds {
+        let mut round_span =
+            spsep_trace::span!("alg44.round", round = round, width = groups.len());
+        let round_start = Instant::now();
+        let round_work_before = metrics.total_work();
         metrics.phase(groups.len().max(1));
         metrics.work(Counter::Doubling, triples.len() as u64);
         let updates: Vec<(u32, S::W)> = groups
@@ -193,6 +238,17 @@ pub fn augment_shared_doubling<S: Semiring>(
                 any.then_some((target, best))
             })
             .collect();
+        let round_ops = metrics.total_work() - round_work_before;
+        round_span.add_ops(round_ops);
+        round_span.add_bytes(table_bytes);
+        drop(round_span);
+        metrics.record_phase(PhaseRecord {
+            label: format!("alg44/round {round}"),
+            width: groups.len().max(1),
+            wall_ns: round_start.elapsed().as_nanos() as u64,
+            ops: round_ops,
+            peak_bytes: table_bytes,
+        });
         if updates.is_empty() {
             break;
         }

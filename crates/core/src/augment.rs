@@ -146,6 +146,19 @@ const SPARSE_LEAF_MIN_VERTS: usize = 24;
 /// (`m ≤ SPARSE_LEAF_MAX_AVG_DEGREE · k`, the "`m = O(k)`" density gate).
 const SPARSE_LEAF_MAX_AVG_DEGREE: usize = 6;
 
+/// How a leaf's interface matrix was computed and what it cost — lets
+/// callers charge the right [`spsep_pram::Counter`] (Floyd–Warshall vs
+/// Dijkstra) for the work/depth ledger.
+#[derive(Copy, Clone, Debug)]
+pub struct LeafOutcome {
+    /// Primitive ops performed by the chosen engine.
+    pub ops: u64,
+    /// `true` if the sparse multi-source Dijkstra engine ran.
+    pub sparse: bool,
+    /// `true` if an absorbing cycle was detected (dense engine only).
+    pub absorbing_cycle: bool,
+}
+
 /// Exact `dist_{G(t)}` over a **leaf**'s interface, allocating fresh
 /// buffers. Thin wrapper over [`leaf_iface_matrix_ws`] for callers
 /// without a workspace (tests, one-off uses).
@@ -153,14 +166,14 @@ pub fn leaf_iface_matrix<S: Semiring>(
     g: &spsep_graph::DiGraph<S::W>,
     vertices: &[u32],
     iface: &Interface,
-) -> (Vec<S::W>, u64, bool) {
+) -> (Vec<S::W>, LeafOutcome) {
     let mut ws = crate::workspace::NodeWorkspace::new();
     leaf_iface_matrix_ws::<S>(g, vertices, iface, &mut ws)
 }
 
 /// Exact `dist_{G(t)}` over a **leaf**'s interface, projected to the
 /// interface positions; scratch comes from `ws` (reset on use). Returns
-/// `(matrix, ops, absorbing_cycle)`.
+/// the matrix plus a [`LeafOutcome`] describing the engine and its cost.
 ///
 /// Two engines behind one contract:
 ///
@@ -180,7 +193,7 @@ pub fn leaf_iface_matrix_ws<S: Semiring>(
     vertices: &[u32],
     iface: &Interface,
     ws: &mut crate::workspace::NodeWorkspace<S>,
-) -> (Vec<S::W>, u64, bool) {
+) -> (Vec<S::W>, LeafOutcome) {
     let k = vertices.len();
     // Build the leaf CSR (local ids = positions in the sorted `vertices`)
     // and check the label-setting precondition along the way.
@@ -233,7 +246,14 @@ pub fn leaf_iface_matrix_ws<S: Semiring>(
         }
         // Non-improving weights mean no cycle can beat the empty path, so
         // no absorbing cycle is possible here.
-        return (mat, ops, false);
+        return (
+            mat,
+            LeafOutcome {
+                ops,
+                sparse: true,
+                absorbing_cycle: false,
+            },
+        );
     }
 
     let full = &mut ws.dense;
@@ -256,7 +276,14 @@ pub fn leaf_iface_matrix_ws<S: Semiring>(
             mat[a * m + b] = full.get(ia, ib);
         }
     }
-    (mat, outcome.ops, outcome.absorbing_cycle)
+    (
+        mat,
+        LeafOutcome {
+            ops: outcome.ops,
+            sparse: false,
+            absorbing_cycle: outcome.absorbing_cycle,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -260,15 +260,23 @@ pub fn preprocess<S: Semiring>(
     algo: Algorithm,
     metrics: &Metrics,
 ) -> Result<Preprocessed<S>, SpsepError> {
-    validate_instance(g, tree)?;
-    let augmentation = run_protected("preprocess augmentation", || match algo {
-        Algorithm::LeavesUp => alg41::augment_leaves_up::<S>(g, tree, metrics),
-        Algorithm::PathDoubling => alg43::augment_path_doubling::<S>(g, tree, metrics),
-        Algorithm::SharedDoubling => alg44::augment_shared_doubling::<S>(g, tree, metrics),
-    })?
-    .map_err(|AbsorbingCycle| SpsepError::AbsorbingCycle {
-        witness: spsep_baselines::find_absorbing_cycle_semiring::<S>(g).unwrap_or_default(),
-    })?;
+    let _span = spsep_trace::span!("preprocess", algo = format!("{algo:?}"), n = g.n());
+    {
+        let _span = spsep_trace::span!("preprocess.validate");
+        validate_instance(g, tree)?;
+    }
+    let augmentation = {
+        let _span = spsep_trace::span!("preprocess.augment");
+        run_protected("preprocess augmentation", || match algo {
+            Algorithm::LeavesUp => alg41::augment_leaves_up::<S>(g, tree, metrics),
+            Algorithm::PathDoubling => alg43::augment_path_doubling::<S>(g, tree, metrics),
+            Algorithm::SharedDoubling => alg44::augment_shared_doubling::<S>(g, tree, metrics),
+        })?
+        .map_err(|AbsorbingCycle| SpsepError::AbsorbingCycle {
+            witness: spsep_baselines::find_absorbing_cycle_semiring::<S>(g).unwrap_or_default(),
+        })?
+    };
+    let _compile_span = spsep_trace::span!("preprocess.compile");
     Ok(Preprocessed::compile(g, tree, augmentation))
 }
 

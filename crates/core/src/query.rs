@@ -96,12 +96,15 @@ impl<S: Semiring> Preprocessed<S> {
     /// Single-source distances by the scheduled Bellman–Ford,
     /// phase-parallel via rayon; work/depth charged to `metrics`.
     pub fn distances(&self, source: usize, metrics: &Metrics) -> Vec<S::W> {
+        let _span = spsep_trace::span!("query.sssp", source = source);
         self.schedule.run_parallel(source, metrics)
     }
 
     /// Single-source distances, sequential execution, with statistics.
     pub fn distances_seq(&self, source: usize) -> (Vec<S::W>, QueryStats) {
+        let mut span = spsep_trace::span!("query.sssp_seq", source = source);
         let (dist, relaxations) = self.schedule.run_seq(source);
+        span.add_ops(relaxations);
         (
             dist,
             QueryStats {

@@ -17,8 +17,9 @@ use crate::query::Preprocessed;
 use rayon::prelude::*;
 use spsep_graph::semiring::Boolean;
 use spsep_graph::{BitMatrix, DiGraph, Edge};
-use spsep_pram::{Counter, Metrics};
+use spsep_pram::{Counter, Metrics, PhaseRecord};
 use spsep_separator::SepTree;
+use std::time::Instant;
 
 /// Estimated word-ops of a boolean `r×k · k×c` product.
 fn matmul_ops(r: usize, k: usize, c: usize) -> u64 {
@@ -38,12 +39,20 @@ pub fn augment_reach_leaves_up(
     let mut eplus: Vec<Edge<bool>> = Vec::new();
     let mut raw_pairs = 0usize;
 
+    // `BitMatrix` rows pack 64 columns per word.
+    let bit_bytes = |m: &BitMatrix| (m.rows() * m.cols().div_ceil(64) * 8) as u64;
+    let mut live_bytes = 0u64;
+
     for depth in (0..=tree.height()).rev() {
         let range = tree.nodes_at_level(depth);
         if range.is_empty() {
             continue;
         }
-        metrics.phase(range.len());
+        let width = range.len();
+        let mut level_span = spsep_trace::span!("reach.level", level = depth, width = width);
+        let level_start = Instant::now();
+        let work_before = metrics.total_work();
+        metrics.phase(width);
         type NodeOut = (u32, BitMatrix, Vec<Edge<bool>>, usize, u64);
         let outputs: Vec<NodeOut> = range
             .clone()
@@ -68,16 +77,33 @@ pub fn augment_reach_leaves_up(
                 (id, mat, edges, raw, ops)
             })
             .collect();
+        let mut level_peak = live_bytes;
         for (id, mat, edges, raw, ops) in outputs {
             metrics.work(Counter::MatMul, ops);
             raw_pairs += raw;
             eplus.extend(edges);
+            live_bytes += bit_bytes(&mat);
             mats[id as usize] = Some(mat);
+            level_peak = level_peak.max(live_bytes);
             if let Some((c1, c2)) = tree.node(id).children {
-                mats[c1 as usize] = None;
-                mats[c2 as usize] = None;
+                for c in [c1, c2] {
+                    if let Some(cm) = mats[c as usize].take() {
+                        live_bytes -= bit_bytes(&cm);
+                    }
+                }
             }
         }
+        let level_ops = metrics.total_work() - work_before;
+        level_span.add_ops(level_ops);
+        level_span.add_bytes(level_peak);
+        drop(level_span);
+        metrics.record_phase(PhaseRecord {
+            label: format!("reach/level {depth}"),
+            width,
+            wall_ns: level_start.elapsed().as_nanos() as u64,
+            ops: level_ops,
+            peak_bytes: level_peak,
+        });
     }
 
     let eplus = dedupe_eplus::<Boolean>(eplus);
@@ -97,7 +123,12 @@ pub fn preprocess_reach(
     tree: &SepTree,
     metrics: &Metrics,
 ) -> Preprocessed<Boolean> {
-    let augmentation = augment_reach_leaves_up(g, tree, metrics);
+    let _span = spsep_trace::span!("preprocess_reach", n = g.n());
+    let augmentation = {
+        let _span = spsep_trace::span!("preprocess.augment");
+        augment_reach_leaves_up(g, tree, metrics)
+    };
+    let _compile_span = spsep_trace::span!("preprocess.compile");
     Preprocessed::compile(g, tree, augmentation)
 }
 

@@ -43,11 +43,13 @@ pub enum Counter {
     Limited = 3,
     /// Boolean matrix multiplication word operations.
     MatMul = 4,
+    /// Heap pops + relaxations of the sparse-Dijkstra leaf kernel.
+    Dijkstra = 5,
     /// Everything else (initialization, bookkeeping passes).
-    Other = 5,
+    Other = 6,
 }
 
-const NUM_COUNTERS: usize = 6;
+const NUM_COUNTERS: usize = 7;
 
 /// One profiled algorithm phase: what it was, how wide it fanned out, how
 /// long it really took, how much model work it charged, and the peak
@@ -142,6 +144,7 @@ impl Metrics {
             doubling: self.work_of(Counter::Doubling),
             limited: self.work_of(Counter::Limited),
             matmul: self.work_of(Counter::MatMul),
+            dijkstra: self.work_of(Counter::Dijkstra),
             other: self.work_of(Counter::Other),
             depth: self.depth(),
             phases: self.phases(),
@@ -162,6 +165,8 @@ pub struct Report {
     pub limited: u64,
     /// Boolean matmul word ops.
     pub matmul: u64,
+    /// Sparse-Dijkstra leaf-kernel ops (heap pops + relaxations).
+    pub dijkstra: u64,
     /// Miscellaneous work.
     pub other: u64,
     /// PRAM time (depth).
@@ -174,6 +179,7 @@ impl Report {
     /// Total work across all counters.
     pub fn total_work(&self) -> u64 {
         self.relaxation + self.floyd_warshall + self.doubling + self.limited + self.matmul
+            + self.dijkstra
             + self.other
     }
 }
@@ -182,13 +188,14 @@ impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "work={} (relax={} fw={} dbl={} lim={} mm={} other={}) depth={} phases={}",
+            "work={} (relax={} fw={} dbl={} lim={} mm={} dij={} other={}) depth={} phases={}",
             self.total_work(),
             self.relaxation,
             self.floyd_warshall,
             self.doubling,
             self.limited,
             self.matmul,
+            self.dijkstra,
             self.other,
             self.depth,
             self.phases

@@ -19,8 +19,13 @@ use spsep_pram::Metrics;
 /// serialized augmentation followed by the exact bit patterns of the
 /// distances from three sources.
 fn run_serialized() -> Vec<u8> {
+    run_serialized_at(4)
+}
+
+/// Same pipeline at an arbitrary thread cap.
+fn run_serialized_at(threads: usize) -> Vec<u8> {
     let (g, tree) = Family::Grid2D.instance(256, 11);
-    with_max_threads(4, || {
+    with_max_threads(threads, || {
         let metrics = Metrics::new();
         let pre =
             preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).expect("valid grid");
@@ -47,6 +52,34 @@ fn five_runs_at_four_threads_serialize_byte_identically() {
     for run in 1..5 {
         assert_eq!(run_serialized(), reference, "run {run} diverged");
     }
+}
+
+#[test]
+fn tracing_leaves_outputs_byte_identical_at_any_thread_count() {
+    // The observability layer must be purely observational: with spans
+    // recording on every level/round, the serialized augmentation and
+    // raw distance bits stay byte-for-byte what an untraced run
+    // produces, at every thread count.
+    let reference = run_serialized();
+    spsep_trace::enable();
+    for threads in [1usize, 2, 4, 8] {
+        assert_eq!(
+            run_serialized_at(threads),
+            reference,
+            "tracing perturbed the pipeline at {threads} threads"
+        );
+    }
+    spsep_trace::disable();
+    // …and the traced runs really did record the pipeline's spans.
+    let events = spsep_trace::drain();
+    assert!(
+        events.iter().any(|e| e.label == "preprocess"),
+        "no preprocess span recorded"
+    );
+    assert!(
+        events.iter().any(|e| e.label == "alg41.level" && e.ops > 0),
+        "no level span with charged ops"
+    );
 }
 
 #[test]

@@ -1,0 +1,64 @@
+//! The work/depth ledger (Theorems 4.1/5.1, DESIGN.md §9) stays inside
+//! its predicted envelope on every bench family × algorithm, and the
+//! Theorem 3.1 diameter bound holds exactly.
+
+use spsep_bench::families::Family;
+use spsep_core::analysis::{augmented_diameter, work_ledger};
+use spsep_core::{preprocess, Algorithm};
+use spsep_graph::semiring::Tropical;
+use spsep_pram::Metrics;
+
+const ALGOS: [Algorithm; 3] = [
+    Algorithm::LeavesUp,
+    Algorithm::PathDoubling,
+    Algorithm::SharedDoubling,
+];
+
+#[test]
+fn ledger_within_envelope_across_families_and_algorithms() {
+    for family in Family::all() {
+        let (g, tree) = family.instance(260, 9);
+        for algo in ALGOS {
+            let metrics = Metrics::new();
+            preprocess::<Tropical>(&g, &tree, algo, &metrics)
+                .unwrap_or_else(|e| panic!("{family:?}/{algo:?}: {e}"));
+            let ledger = work_ledger(&tree, algo, &metrics.report(), None);
+            assert_eq!(ledger.entries.len(), 2);
+            assert!(
+                ledger.all_within(),
+                "{family:?}/{algo:?} over budget:\n{ledger}"
+            );
+            for e in &ledger.entries {
+                assert!(
+                    e.measured > 0,
+                    "{family:?}/{algo:?} {}: nothing measured",
+                    e.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_3_1_diameter_bound_holds_on_every_family() {
+    // augmented_diameter is O(n·m⁺): keep the instances small.
+    for family in Family::all() {
+        let (g, tree) = family.instance(120, 3);
+        let metrics = Metrics::new();
+        let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics)
+            .unwrap_or_else(|e| panic!("{family:?}: {e}"));
+        let diam = augmented_diameter::<Tropical>(&pre).expect("no absorbing cycles");
+        let ledger = work_ledger(&tree, Algorithm::LeavesUp, &metrics.report(), Some(diam));
+        let entry = ledger
+            .entries
+            .iter()
+            .find(|e| e.label == "diameter")
+            .expect("diameter entry");
+        assert_eq!(entry.slack, 1.0, "Theorem 3.1 is unconditional");
+        assert!(
+            entry.within,
+            "{family:?}: diam(G+) = {} exceeds 4d_G + 2l + 1 = {}",
+            entry.measured, entry.predicted
+        );
+    }
+}

@@ -29,7 +29,7 @@ mod pool;
 
 pub mod iter;
 
-pub use pool::{join, with_max_threads};
+pub use pool::{join, pool_stats, reset_pool_stats, with_max_threads, PoolStats, WorkerStats};
 
 /// Below this weight (caller-chosen units: elements, vertices, …)
 /// [`join_weighted`] runs sequentially — publishing to the pool costs a
@@ -346,6 +346,32 @@ mod tests {
         assert_eq!(pool.install(super::current_num_threads), 4);
         assert!(super::current_num_threads() >= 1);
         assert!(super::max_threads() >= 8);
+    }
+
+    #[test]
+    fn pool_stats_observe_executor_activity() {
+        let handled = |s: &super::PoolStats| {
+            s.workers.iter().map(|w| w.tasks).sum::<u64>() + s.reclaimed_handles + s.steal_backs
+        };
+        let before = super::pool_stats();
+        super::with_max_threads(4, || {
+            (0..4096usize).into_par_iter().for_each(|i| {
+                std::hint::black_box(i);
+                std::thread::sleep(std::time::Duration::from_micros(10));
+            });
+            for _ in 0..8 {
+                let (a, b) = super::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+                assert_eq!((a, b), (1, 2));
+            }
+        });
+        let after = super::pool_stats();
+        assert_eq!(after.workers.len(), super::max_threads() - 1);
+        assert!(after.workers[0].name.starts_with("spsep-worker-"));
+        assert!(after.max_queue_depth >= 1);
+        // Every published handle is either executed by a worker,
+        // reclaimed by its caller, or (joins) stolen back — so the
+        // combined counter must advance across a parallel region.
+        assert!(handled(&after) > handled(&before));
     }
 
     #[test]

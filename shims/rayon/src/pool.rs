@@ -27,8 +27,9 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 /// Lock acquisition that shrugs off poisoning: a panicked thread must
 /// surface as a propagated panic / typed error, never as a secondary
@@ -68,6 +69,82 @@ pub(crate) struct Pool {
     /// Effective concurrency when no cap is installed:
     /// `SPSEP_THREADS`, defaulting to the host parallelism.
     default_threads: usize,
+    /// Telemetry, one slot per worker thread (`capacity - 1` entries).
+    worker_telemetry: Vec<WorkerTelemetry>,
+    /// Telemetry: `join` second-closures the caller stole back.
+    steal_backs: AtomicU64,
+    /// Telemetry: stale handles reclaimed by their submitting caller.
+    reclaimed_handles: AtomicU64,
+    /// Telemetry: high-water mark of the injector queue length.
+    max_queue_depth: AtomicU64,
+}
+
+/// Per-worker telemetry counters. All updates are relaxed atomics on the
+/// side of task execution — purely observational, never consulted by
+/// scheduling decisions, so enabling/reading them cannot perturb results.
+#[derive(Default)]
+struct WorkerTelemetry {
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
+/// Snapshot of the pool's telemetry counters ([`pool_stats`]).
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Per-worker counters, in worker order (the submitting caller's own
+    /// inline participation is not a pool worker and is not counted).
+    pub workers: Vec<WorkerStats>,
+    /// `join` second-closures stolen back (run inline) by their caller.
+    pub steal_backs: u64,
+    /// Published handles reclaimed unclaimed by their caller.
+    pub reclaimed_handles: u64,
+    /// Maximum injector queue depth observed at publish time.
+    pub max_queue_depth: u64,
+}
+
+/// One worker thread's counters.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Thread name (`spsep-worker-3`).
+    pub name: String,
+    /// Nanoseconds spent executing popped task handles.
+    pub busy_ns: u64,
+    /// Task handles executed.
+    pub tasks: u64,
+}
+
+/// Snapshot the pool telemetry. Counters accumulate from pool creation
+/// (or the last [`reset_pool_stats`]).
+pub fn pool_stats() -> PoolStats {
+    let pool = pool();
+    PoolStats {
+        workers: pool
+            .worker_telemetry
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WorkerStats {
+                name: format!("spsep-worker-{i}"),
+                busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                tasks: w.tasks.load(Ordering::Relaxed),
+            })
+            .collect(),
+        steal_backs: pool.steal_backs.load(Ordering::Relaxed),
+        reclaimed_handles: pool.reclaimed_handles.load(Ordering::Relaxed),
+        max_queue_depth: pool.max_queue_depth.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero all telemetry counters (so a measured region can be bracketed by
+/// `reset_pool_stats()` … `pool_stats()`).
+pub fn reset_pool_stats() {
+    let pool = pool();
+    for w in &pool.worker_telemetry {
+        w.busy_ns.store(0, Ordering::Relaxed);
+        w.tasks.store(0, Ordering::Relaxed);
+    }
+    pool.steal_backs.store(0, Ordering::Relaxed);
+    pool.reclaimed_handles.store(0, Ordering::Relaxed);
+    pool.max_queue_depth.store(0, Ordering::Relaxed);
 }
 
 static POOL: OnceLock<&'static Pool> = OnceLock::new();
@@ -89,11 +166,15 @@ pub(crate) fn pool() -> &'static Pool {
             work_available: Condvar::new(),
             capacity,
             default_threads,
+            worker_telemetry: (0..capacity - 1).map(|_| WorkerTelemetry::default()).collect(),
+            steal_backs: AtomicU64::new(0),
+            reclaimed_handles: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
         }));
         for i in 0..capacity - 1 {
             std::thread::Builder::new()
                 .name(format!("spsep-worker-{i}"))
-                .spawn(move || worker_loop(pool))
+                .spawn(move || worker_loop(pool, i))
                 .expect("failed to spawn spsep worker thread");
         }
         pool
@@ -149,7 +230,8 @@ pub fn with_max_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(pool: &'static Pool, index: usize) {
+    let telemetry = &pool.worker_telemetry[index];
     loop {
         let task = {
             let mut q = lock(&pool.injector);
@@ -163,6 +245,7 @@ fn worker_loop(pool: &'static Pool) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        let started = Instant::now();
         // Task entry points catch user panics internally; a panic
         // escaping here would skip handle retirement and hang the
         // submitting caller, so abort loudly instead of unwinding.
@@ -170,6 +253,10 @@ fn worker_loop(pool: &'static Pool) {
             eprintln!("spsep rayon shim: internal executor panic; aborting");
             std::process::abort();
         }
+        telemetry
+            .busy_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        telemetry.tasks.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -308,6 +395,7 @@ pub(crate) fn run_batch(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
         for _ in 0..helpers {
             q.push_back(task);
         }
+        pool.max_queue_depth.fetch_max(q.len() as u64, Ordering::Relaxed);
     }
     pool.work_available.notify_all();
     // Participate: the caller is one of the `eff` threads.
@@ -321,6 +409,7 @@ pub(crate) fn run_batch(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
         let removed = before - q.len();
         if removed > 0 {
             drop(q);
+            pool.reclaimed_handles.fetch_add(removed as u64, Ordering::Relaxed);
             latch.retire(removed);
         }
     }
@@ -408,7 +497,11 @@ where
         data: std::ptr::from_ref(&job).cast::<()>(),
         exec: join_entry::<B, RB>,
     };
-    lock(&pool.injector).push_back(task);
+    {
+        let mut q = lock(&pool.injector);
+        q.push_back(task);
+        pool.max_queue_depth.fetch_max(q.len() as u64, Ordering::Relaxed);
+    }
     pool.work_available.notify_one();
     let ra = catch_unwind(AssertUnwindSafe(a));
     let rb: std::thread::Result<RB> = if job
@@ -418,6 +511,7 @@ where
     {
         // Steal-back: remove the unclaimed handle (a worker may hold it
         // already — it loses the CAS and just retires).
+        pool.steal_backs.fetch_add(1, Ordering::Relaxed);
         {
             let mut q = lock(&pool.injector);
             let before = q.len();
@@ -425,6 +519,7 @@ where
             let removed = before - q.len();
             drop(q);
             if removed > 0 {
+                pool.reclaimed_handles.fetch_add(removed as u64, Ordering::Relaxed);
                 latch.retire(removed);
             }
         }

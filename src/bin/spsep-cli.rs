@@ -8,19 +8,28 @@
 //! spsep-cli reach <graph.gr> -s <src>                 reachable vertex count
 //! ```
 //!
-//! Common flags:
+//! Common flags (all subcommands):
 //!   -t <tree.st>       reuse a saved decomposition (paper comment (iv))
 //!   -a 41|43|44        E⁺ construction (default 41 = leaves-up)
 //!   -b bfs|centroid    decomposition builder (default bfs; centroid
 //!                      for tree-shaped graphs)
 //!   --print-dists      dump every distance (default: summary only)
+//!   --metrics          print the PRAM work/depth report and, where a
+//!                      preprocessing ran, the Theorem 4.1/5.1 work
+//!                      ledger (predicted-vs-measured ratios)
+//!   --metrics-out <f>  write the same report as JSON (spsep-metrics/v1)
+//!   --trace            print the hierarchical span tree to stderr
+//!   --trace-out <f>    write a Chrome trace-event JSON (load in
+//!                      Perfetto / chrome://tracing), including executor
+//!                      pool telemetry
 //!
 //! Graphs are DIMACS `sp` files (`p sp n m` + `a u v w`, 1-based).
 
+use spsep::core::analysis::{work_ledger, WorkLedger};
 use spsep::core::{preprocess, Algorithm};
 use spsep::graph::semiring::Tropical;
 use spsep::graph::DiGraph;
-use spsep::pram::Metrics;
+use spsep::pram::{Metrics, Report};
 use spsep::separator::{builders, RecursionLimits, SepTree};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -35,12 +44,17 @@ struct Args {
     tree_in: Option<String>,
     tree_out: Option<String>,
     print_dists: bool,
+    metrics: bool,
+    metrics_out: Option<String>,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spsep-cli <info|tree|sssp|reach> <graph.gr> \
-         [-s source] [-a 41|43|44] [-t tree.st] [-o tree.st] [--print-dists]"
+         [-s source] [-a 41|43|44] [-t tree.st] [-o tree.st] [--print-dists]\n\
+         \x20       [--metrics] [--metrics-out m.json] [--trace] [--trace-out t.json]"
     );
     ExitCode::from(2)
 }
@@ -58,6 +72,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         tree_in: None,
         tree_out: None,
         print_dists: false,
+        metrics: false,
+        metrics_out: None,
+        trace: false,
+        trace_out: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -79,6 +97,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             "-t" => args.tree_in = Some(argv.next().ok_or_else(usage)?),
             "-o" => args.tree_out = Some(argv.next().ok_or_else(usage)?),
             "--print-dists" => args.print_dists = true,
+            "--metrics" => args.metrics = true,
+            "--metrics-out" => args.metrics_out = Some(argv.next().ok_or_else(usage)?),
+            "--trace" => args.trace = true,
+            "--trace-out" => args.trace_out = Some(argv.next().ok_or_else(usage)?),
             _ => return Err(usage()),
         }
     }
@@ -125,6 +147,114 @@ fn obtain_tree(g: &DiGraph<f64>, args: &Args) -> Result<SepTree, String> {
     Ok(tree)
 }
 
+/// Append one JSON string value (with escapes) to `out`.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render the `spsep-metrics/v1` JSON document: the PRAM report plus the
+/// work-ledger entries (empty array when the command ran no augmentation).
+fn metrics_json(command: &str, report: &Report, ledger: Option<&WorkLedger>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"spsep-metrics/v1\",\n  \"command\": ");
+    json_str(&mut out, command);
+    write!(
+        out,
+        ",\n  \"work\": {{\n    \"relaxation\": {},\n    \"floyd_warshall\": {},\n    \
+         \"doubling\": {},\n    \"limited\": {},\n    \"matmul\": {},\n    \
+         \"dijkstra\": {},\n    \"other\": {},\n    \"total\": {}\n  }},\n  \
+         \"depth\": {},\n  \"phases\": {},\n  \"ledger\": [",
+        report.relaxation,
+        report.floyd_warshall,
+        report.doubling,
+        report.limited,
+        report.matmul,
+        report.dijkstra,
+        report.other,
+        report.total_work(),
+        report.depth,
+        report.phases,
+    )
+    .unwrap();
+    if let Some(ledger) = ledger {
+        for (i, e) in ledger.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"label\": ");
+            json_str(&mut out, &e.label);
+            write!(
+                out,
+                ", \"measured\": {}, \"predicted\": {}, \"ratio\": {:.6}, \"within\": {}}}",
+                e.measured, e.predicted, e.ratio, e.within
+            )
+            .unwrap();
+        }
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// The uniform observability epilogue, shared by every subcommand: the
+/// `--metrics` report + ledger on stdout, the `--metrics-out` JSON, the
+/// `--trace` span tree on stderr, and the `--trace-out` Chrome export
+/// joined with the executor pool telemetry.
+fn epilogue(args: &Args, metrics: &Metrics, ledger: Option<&WorkLedger>) -> Result<(), String> {
+    let report = metrics.report();
+    if args.metrics {
+        println!("metrics: {report}");
+        if let Some(ledger) = ledger {
+            print!("{ledger}");
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics_json(&args.command, &report, ledger))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if args.trace || args.trace_out.is_some() {
+        let events = spsep::trace::drain();
+        if args.trace {
+            eprint!("{}", spsep::trace::render_tree(&events));
+        }
+        if let Some(path) = &args.trace_out {
+            let stats = rayon::pool_stats();
+            let pool = spsep::trace::PoolMeta {
+                workers: stats
+                    .workers
+                    .iter()
+                    .map(|w| spsep::trace::WorkerMeta {
+                        name: w.name.clone(),
+                        busy_ns: w.busy_ns,
+                        tasks: w.tasks,
+                    })
+                    .collect(),
+                steal_backs: stats.steal_backs,
+                reclaimed_handles: stats.reclaimed_handles,
+                max_queue_depth: stats.max_queue_depth,
+            };
+            let json = spsep::trace::chrome_trace_json(&events, Some(&pool));
+            spsep::trace::validate_chrome_json(&json)
+                .map_err(|e| format!("internal error: invalid trace export: {e}"))?;
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote trace to {path}");
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = match parse_args() {
         Ok(a) => a,
@@ -132,7 +262,12 @@ fn run() -> Result<(), String> {
             std::process::exit(if code == ExitCode::SUCCESS { 0 } else { 2 });
         }
     };
+    if args.trace || args.trace_out.is_some() {
+        spsep::trace::enable();
+    }
     let g = load_graph(&args.graph_path)?;
+    let metrics = Metrics::new();
+    let mut ledger: Option<WorkLedger> = None;
     match args.command.as_str() {
         "info" => {
             let tree = obtain_tree(&g, &args)?;
@@ -145,7 +280,6 @@ fn run() -> Result<(), String> {
                 tree.total_separator_size(),
                 tree.node(0).separator.len()
             );
-            let metrics = Metrics::new();
             let pre = preprocess::<Tropical>(&g, &tree, args.algo, &metrics)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -153,6 +287,7 @@ fn run() -> Result<(), String> {
                 pre.stats().eplus_edges,
                 metrics.report()
             );
+            ledger = Some(work_ledger(&tree, args.algo, &metrics.report(), None));
         }
         "tree" => {
             if args.tree_out.is_none() {
@@ -170,9 +305,11 @@ fn run() -> Result<(), String> {
                 return Err(format!("source {} out of range", args.source));
             }
             let tree = obtain_tree(&g, &args)?;
-            let metrics = Metrics::new();
             let pre = preprocess::<Tropical>(&g, &tree, args.algo, &metrics)
                 .map_err(|e| e.to_string())?;
+            // Ledger snapshot before the query: the Theorem 4.1/5.1
+            // envelopes cover preprocessing work only.
+            ledger = Some(work_ledger(&tree, args.algo, &metrics.report(), None));
             let (dist, stats) = pre.distances_seq(args.source);
             let reachable = dist.iter().filter(|d| d.is_finite()).count();
             let max = dist
@@ -205,7 +342,6 @@ fn run() -> Result<(), String> {
                 return Err(format!("source {} out of range", args.source));
             }
             let tree = obtain_tree(&g, &args)?;
-            let metrics = Metrics::new();
             let gb = g.map_weights(|_| true);
             let pre = spsep::core::reach::preprocess_reach(&gb, &tree, &metrics);
             let (row, _) = pre.distances_seq(args.source);
@@ -223,7 +359,7 @@ fn run() -> Result<(), String> {
         }
         other => return Err(format!("unknown command '{other}'")),
     }
-    Ok(())
+    epilogue(&args, &metrics, ledger.as_ref())
 }
 
 fn main() -> ExitCode {

@@ -14,7 +14,9 @@
 //!   comparison;
 //! * [`planar`] — the Section 6 few-faces pipeline;
 //! * [`tvpi`] — the difference-constraint application;
-//! * [`pram`] — work/depth accounting under the EREW PRAM cost model.
+//! * [`pram`] — work/depth accounting under the EREW PRAM cost model;
+//! * [`trace`] — hierarchical spans, the Chrome trace-event exporter, and
+//!   the human span-tree report (DESIGN.md §9).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,4 +26,5 @@ pub use spsep_graph as graph;
 pub use spsep_planar as planar;
 pub use spsep_pram as pram;
 pub use spsep_separator as separator;
+pub use spsep_trace as trace;
 pub use spsep_tvpi as tvpi;

@@ -109,6 +109,85 @@ fn reach_and_centroid_builder() {
 }
 
 #[test]
+fn observability_flags_produce_artifacts() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-5");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+
+    let out = cli()
+        .arg("sssp")
+        .arg(&graph)
+        .args(["-s", "0", "-a", "43", "--metrics", "--trace"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // --metrics: uniform report + ledger on stdout.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics: work="), "{text}");
+    assert!(text.contains("work ledger (PathDoubling)"), "{text}");
+    assert!(text.contains("augment work"), "{text}");
+    assert!(!text.contains("OVER BUDGET"), "{text}");
+
+    // --trace: human span tree on stderr.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("preprocess.augment"), "{err}");
+    assert!(err.contains("alg43.round"), "{err}");
+
+    // --metrics-out: spsep-metrics/v1 document.
+    let mjson = std::fs::read_to_string(&metrics).unwrap();
+    assert!(mjson.contains("\"schema\": \"spsep-metrics/v1\""), "{mjson}");
+    assert!(mjson.contains("\"ledger\""), "{mjson}");
+    assert!(mjson.contains("\"within\": true"), "{mjson}");
+
+    // --trace-out: structurally valid Chrome trace-event JSON.
+    let tjson = std::fs::read_to_string(&trace).unwrap();
+    let events = spsep::trace::validate_chrome_json(&tjson)
+        .unwrap_or_else(|e| panic!("invalid trace export: {e}\n{tjson}"));
+    assert!(events >= 3, "expected preprocess spans, got {events}");
+    assert!(tjson.contains("pool_stats"), "{tjson}");
+}
+
+#[test]
+fn metrics_flag_is_uniform_across_subcommands() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-6");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let tree = dir.join("demo.st");
+    for argv in [
+        vec!["info"],
+        vec!["tree"],
+        vec!["sssp", "-s", "1"],
+        vec!["reach", "-s", "0"],
+    ] {
+        let mut cmd = cli();
+        cmd.arg(argv[0]).arg(&graph).args(&argv[1..]).arg("--metrics");
+        if argv[0] == "tree" {
+            cmd.arg("-o").arg(&tree);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            argv[0],
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("metrics: work="),
+            "`{}` lacks the metrics epilogue: {text}",
+            argv[0]
+        );
+    }
+}
+
+#[test]
 fn error_paths() {
     let out = cli().arg("info").arg("/nonexistent.gr").output().unwrap();
     assert!(!out.status.success());
