@@ -9,19 +9,59 @@
 //!     e17 --phases-out BENCH_phases.json       # phase bench + artifact
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e17 --phases-in BENCH_phases.json        # re-render the artifact
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e18 --amortize-out BENCH_amortize.json   # oracle snapshot bench
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 e17 check
+//! e15 e16 e17 e18 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
 //! `spsep-kernel-bench/v1` JSON artifact of E16; `--phases-out <path>`
 //! writes the `spsep-phase-bench/v1` artifact of E17; `--phases-in
 //! <path>` renders E17 from a committed artifact instead of
-//! re-measuring; `--smoke` shrinks E16/E17 to CI-sized instances.
+//! re-measuring; `--amortize-out <path>` / `--amortize-in <path>` do the
+//! same for E18's `spsep-amortize/v1` oracle-snapshot benchmark;
+//! `--smoke` shrinks E16/E17/E18 to CI-sized instances.
+//!
+//! Unknown experiment ids and flags are reported with the valid set —
+//! never a bare panic.
 
-use spsep_bench::{experiments, kernels, phases};
+use spsep_bench::{amortize, experiments, kernels, phases};
+
+/// Every experiment id `tables` understands, in presentation order.
+const VALID_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "fig1", "fig2", "e8", "e9", "e10", "e11", "e12", "e13",
+    "e14", "e15", "e16", "e17", "e18", "check", "all",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tables [ids...] [--smoke] [--kernels-out p] [--phases-out p] \
+         [--phases-in p] [--amortize-out p] [--amortize-in p]\n\
+         valid ids: {}",
+        VALID_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| fail(&format!("{flag} needs a path")))
+}
+
+fn write_or_fail(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        fail(&format!("cannot write {what} to {path}: {e}"));
+    }
+}
+
+fn read_or_fail(path: &str, what: &str) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {what} from {path}: {e}")))
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -29,20 +69,20 @@ fn main() {
     let mut kernels_out: Option<String> = None;
     let mut phases_out: Option<String> = None;
     let mut phases_in: Option<String> = None;
+    let mut amortize_out: Option<String> = None;
+    let mut amortize_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
-            "--kernels-out" => {
-                kernels_out = Some(it.next().expect("--kernels-out needs a path"));
-            }
-            "--phases-out" => {
-                phases_out = Some(it.next().expect("--phases-out needs a path"));
-            }
-            "--phases-in" => {
-                phases_in = Some(it.next().expect("--phases-in needs a path"));
-            }
+            "--kernels-out" => kernels_out = Some(flag_value(&mut it, "--kernels-out")),
+            "--phases-out" => phases_out = Some(flag_value(&mut it, "--phases-out")),
+            "--phases-in" => phases_in = Some(flag_value(&mut it, "--phases-in")),
+            "--amortize-out" => amortize_out = Some(flag_value(&mut it, "--amortize-out")),
+            "--amortize-in" => amortize_in = Some(flag_value(&mut it, "--amortize-in")),
+            flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
+            id if !VALID_IDS.contains(&id) => fail(&format!("unknown experiment id '{id}'")),
             _ => args.push(a),
         }
     }
@@ -116,16 +156,18 @@ fn main() {
             "blocked kernels diverged from naive — determinism contract broken"
         );
         let json = kernels::kernels_json(&records);
-        let entries = kernels::validate_kernels_json(&json).expect("artifact schema");
+        let entries = kernels::validate_kernels_json(&json)
+            .unwrap_or_else(|e| fail(&format!("kernels artifact failed validation: {e}")));
         if let Some(path) = &kernels_out {
-            std::fs::write(path, &json).expect("write kernels artifact");
+            write_or_fail(path, &json, "kernels artifact");
             eprintln!("[tables] wrote {path} ({entries} entries)");
         }
     }
     if want("e17") || phases_out.is_some() || phases_in.is_some() {
         if let Some(path) = &phases_in {
-            let json = std::fs::read_to_string(path).expect("read phases artifact");
-            let records = phases::read_phases_json(&json).expect("artifact schema");
+            let json = read_or_fail(path, "phases artifact");
+            let records = phases::read_phases_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
             println!(
                 "{hr}\nE17 — phase breakdown from {path} ({} entries):\n\n{}",
                 records.len(),
@@ -135,9 +177,37 @@ fn main() {
             let (report, records) = phases::e17_phase_breakdown(smoke);
             println!("{hr}\n{report}");
             let json = phases::phases_json(&records);
-            let entries = phases::validate_phases_json(&json).expect("artifact schema");
+            let entries = phases::validate_phases_json(&json)
+                .unwrap_or_else(|e| fail(&format!("phases artifact failed validation: {e}")));
             if let Some(path) = &phases_out {
-                std::fs::write(path, &json).expect("write phases artifact");
+                write_or_fail(path, &json, "phases artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
+        }
+    }
+    if want("e18") || amortize_out.is_some() || amortize_in.is_some() {
+        if let Some(path) = &amortize_in {
+            let json = read_or_fail(path, "amortize artifact");
+            let records = amortize::read_amortize_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "{hr}\nE18 — snapshot amortization from {path} ({} entries):\n\n{}",
+                records.len(),
+                amortize::render_amortize_table(&records)
+            );
+        } else {
+            let (report, records) = amortize::e18_amortization(smoke);
+            println!("{hr}\n{report}");
+            assert!(
+                records.iter().all(|r| r.bit_identical),
+                "snapshot round-trip diverged from fresh preprocessing — \
+                 determinism contract broken"
+            );
+            let json = amortize::amortize_json(&records);
+            let entries = amortize::validate_amortize_json(&json)
+                .unwrap_or_else(|e| fail(&format!("amortize artifact failed validation: {e}")));
+            if let Some(path) = &amortize_out {
+                write_or_fail(path, &json, "amortize artifact");
                 eprintln!("[tables] wrote {path} ({entries} entries)");
             }
         }

@@ -2,7 +2,7 @@
 //! `BENCH_kernels.json` artifact (schema `spsep-kernel-bench/v1`).
 //!
 //! The workspace has no serde, so the artifact is written with `format!`
-//! and checked by the hand-rolled parser of [`crate::jsonv`]; the
+//! and checked by the hand-rolled parser of `jsonv` (the crate-private mini JSON parser); the
 //! `tables` binary validates every artifact it writes, and CI's
 //! bench-smoke job validates the committed copy.
 

@@ -5,6 +5,7 @@
 //! criterion benches wall-clock the kernels, and `EXPERIMENTS.md` records
 //! paper-vs-measured.
 
+pub mod amortize;
 pub mod experiments;
 pub mod families;
 mod jsonv;

@@ -14,7 +14,7 @@
 //! * `query`      — one sequential scheduled SSSP run.
 //!
 //! Same no-serde discipline as E16: the artifact is written with
-//! `format!`, re-parsed by [`crate::jsonv`], and validated before the
+//! `format!`, re-parsed by `jsonv` (the crate-private mini JSON parser), and validated before the
 //! `tables` binary writes it.
 
 use crate::families::Family;

@@ -36,6 +36,9 @@
 // expects are confined to #[cfg(test)] code (internal invariants use
 // let-else + unreachable!, which documents *why* they cannot fire).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Every public item must explain itself — the crate is the paper's
+// reference implementation and doubles as its documentation.
+#![warn(missing_docs)]
 
 pub mod alg41;
 pub mod alg43;
@@ -46,6 +49,7 @@ pub mod error;
 pub mod explain;
 pub mod fallback;
 pub mod io;
+pub mod oracle;
 pub mod query;
 pub mod reach;
 pub mod schedule;
@@ -55,6 +59,7 @@ pub mod workspace;
 pub use augment::{AugmentStats, Augmentation};
 pub use error::SpsepError;
 pub use fallback::{preprocess_or_fallback, FallbackPolicy, FallbackReason, Prepared};
+pub use oracle::{CacheStats, Oracle};
 pub use query::{Preprocessed, QueryStats};
 
 use spsep_graph::{DiGraph, Semiring};

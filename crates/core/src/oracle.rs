@@ -1,0 +1,561 @@
+//! The serving layer: prepare once, query many.
+//!
+//! The paper's cost model (Table 1) splits the problem into an expensive
+//! **preprocessing** stage (build `E⁺`, Sections 3–5) and a cheap
+//! **query** stage (`O(l·|E| + |E ∪ E⁺|)` work per source, Section 3.2).
+//! That split only pays off if the preprocessing can be amortized over
+//! many queries — which is exactly what [`Oracle`] packages:
+//!
+//! * [`Oracle::prepare`] runs the full pipeline once and
+//!   [`Oracle::save`] persists the result as a versioned, checksummed
+//!   `spsep-oracle/v1` snapshot ([`crate::io::write_snapshot`]);
+//! * [`Oracle::load`] rehydrates a query-ready oracle from that snapshot
+//!   in milliseconds — no augmentation re-run, only the cheap schedule
+//!   compilation ([`crate::Preprocessed::compile`]);
+//! * [`Oracle::distance`] / [`Oracle::source_table`] /
+//!   [`Oracle::batch`] answer point-to-point, single-source, and bulk
+//!   pair queries over the loaded instance.
+//!
+//! Distances computed through a saved-and-reloaded oracle are
+//! **bit-identical** to those of the freshly prepared one (weights
+//! travel as IEEE-754 bit patterns, and the schedule executes the same
+//! deterministic relaxation order), at any thread count — the
+//! differential suite in `crates/testkit` enforces this.
+//!
+//! # Caching
+//!
+//! Queries from the same source share one scheduled run: the oracle
+//! keeps an LRU cache of materialized per-source distance tables
+//! (capacity [`Oracle::set_cache_capacity`], default
+//! [`DEFAULT_CACHE_CAPACITY`]). Hits, misses, and evictions are counted
+//! ([`Oracle::cache_stats`]) and every query charges its relaxations to
+//! the caller's [`Metrics`] and emits a `spsep_trace` span, so serving
+//! workloads are observable with the same `--metrics`/`--trace` tooling
+//! as the preprocessing pipeline.
+//!
+//! Eviction is deterministic (least-recently-used by a monotone access
+//! stamp), and [`Oracle::batch`] materializes missing rows in sorted
+//! source order — the cache state after a batch is a pure function of
+//! the query stream, independent of thread count.
+
+use crate::augment::Augmentation;
+use crate::io::{read_snapshot, write_snapshot, Snapshot};
+use crate::query::Preprocessed;
+use crate::{preprocess, Algorithm, AugmentStats};
+use rayon::prelude::*;
+use spsep_graph::semiring::Tropical;
+use spsep_graph::{DiGraph, SpsepError};
+use spsep_pram::{Counter, Metrics};
+use spsep_separator::SepTree;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default capacity (in source rows) of the oracle's LRU table cache.
+///
+/// One row costs `8·n` bytes; 64 rows of a 10⁵-vertex graph are ~50 MB —
+/// small enough to be a safe default, large enough that skewed query
+/// streams (a few hot sources) hit almost always.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Counters of the oracle's per-source table cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a cached table.
+    pub hits: u64,
+    /// Queries that had to materialize a table.
+    pub misses: u64,
+    /// Tables evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Tables currently resident.
+    pub entries: usize,
+    /// Capacity bound (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// LRU cache of materialized per-source distance tables.
+///
+/// Hand-rolled (the workspace vendors no external crates): a map from
+/// source to `(access stamp, row)` plus a monotone tick; eviction
+/// removes the smallest stamp. Stamps are unique, so eviction order is
+/// deterministic for a given query stream.
+struct RowCache {
+    capacity: usize,
+    inner: Mutex<RowCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct RowCacheInner {
+    tick: u64,
+    rows: HashMap<usize, (u64, Arc<[f64]>)>,
+}
+
+impl RowCache {
+    fn new(capacity: usize) -> RowCache {
+        RowCache {
+            capacity,
+            inner: Mutex::new(RowCacheInner {
+                tick: 0,
+                rows: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `source`, bumping its recency on a hit. Counts the
+    /// hit/miss either way.
+    fn get(&self, source: usize) -> Option<Arc<[f64]>> {
+        // A poisoned lock (a panic while held — which the critical
+        // sections below cannot cause) degrades to "always miss".
+        let row = self.inner.lock().ok().and_then(|mut inner| {
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.rows.get_mut(&source).map(|slot| {
+                slot.0 = tick;
+                Arc::clone(&slot.1)
+            })
+        });
+        match &row {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        row
+    }
+
+    /// Insert a freshly computed row, evicting the least recently used
+    /// entry if at capacity. No-op when capacity is 0.
+    fn insert(&self, source: usize, row: Arc<[f64]>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if !inner.rows.contains_key(&source) && inner.rows.len() >= self.capacity {
+                if let Some(&victim) = inner
+                    .rows
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(s, _)| s)
+                {
+                    inner.rows.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            inner.rows.insert(source, (tick, row));
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().map(|i| i.rows.len()).unwrap_or(0),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A query-ready distance oracle over a preprocessed instance.
+///
+/// Build one with [`Oracle::prepare`] (fresh preprocessing) or
+/// [`Oracle::load`] (from a persisted snapshot); both yield the same
+/// answers bit-for-bit.
+///
+/// ```
+/// use spsep_core::{oracle::Oracle, Algorithm};
+/// use spsep_pram::Metrics;
+/// use spsep_separator::{builders, RecursionLimits};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (g, _) = spsep_graph::generators::grid(&[6, 6], &mut rng);
+/// let tree = builders::grid_tree(&[6, 6], RecursionLimits::default());
+///
+/// let metrics = Metrics::new();
+/// let oracle = Oracle::prepare(g, tree, Algorithm::LeavesUp, &metrics)?;
+///
+/// // Persist, reload, and query: prepare once, serve many.
+/// let mut snapshot = Vec::new();
+/// oracle.save(&mut snapshot)?;
+/// let served = Oracle::load(snapshot.as_slice())?;
+/// let d = served.distance(0, 35, &metrics)?;
+/// assert!(d.is_finite());
+/// assert_eq!(d.to_bits(), oracle.distance(0, 35, &metrics)?.to_bits());
+/// # Ok::<(), spsep_core::SpsepError>(())
+/// ```
+pub struct Oracle {
+    graph: DiGraph<f64>,
+    tree: SepTree,
+    algo: Algorithm,
+    pre: Preprocessed<Tropical>,
+    cache: RowCache,
+}
+
+impl Oracle {
+    /// Run the full preprocessing pipeline (validation, `E⁺`
+    /// construction with `algo`, schedule compilation) and wrap the
+    /// result in a query-ready oracle. Work and depth are charged to
+    /// `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`crate::preprocess`] can report:
+    /// [`SpsepError::InvalidDecomposition`],
+    /// [`SpsepError::AbsorbingCycle`], [`SpsepError::Executor`].
+    pub fn prepare(
+        graph: DiGraph<f64>,
+        tree: SepTree,
+        algo: Algorithm,
+        metrics: &Metrics,
+    ) -> Result<Oracle, SpsepError> {
+        let pre = preprocess::<Tropical>(&graph, &tree, algo, metrics)?;
+        Ok(Oracle {
+            graph,
+            tree,
+            algo,
+            pre,
+            cache: RowCache::new(DEFAULT_CACHE_CAPACITY),
+        })
+    }
+
+    /// Wrap an already-deserialized [`Snapshot`] (the snapshot reader
+    /// has validated it) — only the cheap schedule compilation runs.
+    pub fn from_snapshot(snapshot: Snapshot) -> Oracle {
+        let _span = spsep_trace::span!("oracle.compile", n = snapshot.graph.n());
+        let Snapshot {
+            graph,
+            tree,
+            algo,
+            augmentation,
+        } = snapshot;
+        let pre = Preprocessed::compile(&graph, &tree, augmentation);
+        Oracle {
+            graph,
+            tree,
+            algo,
+            pre,
+            cache: RowCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Persist this oracle as an `spsep-oracle/v1` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] if writing to `out` fails.
+    pub fn save<W: Write>(&self, out: &mut W) -> Result<(), SpsepError> {
+        let mut span = spsep_trace::span!("oracle.save", n = self.graph.n());
+        let augmentation = Augmentation::<Tropical> {
+            eplus: self.pre.eplus().to_vec(),
+            stats: self.pre.stats(),
+        };
+        let bytes_before = self.graph.m() + augmentation.eplus.len();
+        span.add_ops(bytes_before as u64);
+        write_snapshot(&self.graph, &self.tree, self.algo, &augmentation, out)
+    }
+
+    /// Load an oracle from a snapshot previously written by
+    /// [`Oracle::save`] (or `spsep-cli prepare`).
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] on read failure; [`SpsepError::Parse`] on any
+    /// corruption (bad magic, version skew, checksum mismatch,
+    /// truncation, semantic damage caught by the section parsers);
+    /// [`SpsepError::InvalidDecomposition`] if the graph and tree do not
+    /// form a valid instance.
+    pub fn load<R: Read>(input: R) -> Result<Oracle, SpsepError> {
+        let snapshot = {
+            let _span = spsep_trace::span!("oracle.load");
+            read_snapshot(input)?
+        };
+        Ok(Oracle::from_snapshot(snapshot))
+    }
+
+    /// Replace the table cache with an empty one of capacity `capacity`
+    /// (rows; 0 disables caching). Resets the cache counters.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache = RowCache::new(capacity);
+    }
+
+    /// Builder-style [`Oracle::set_cache_capacity`].
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Oracle {
+        self.set_cache_capacity(capacity);
+        self
+    }
+
+    fn check_vertex(&self, v: usize, role: &str) -> Result<(), SpsepError> {
+        if v >= self.graph.n() {
+            return Err(SpsepError::invalid_vertex(
+                v.min(u32::MAX as usize) as u32,
+                format!("query {role} out of range 0..{}", self.graph.n()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Materialize (or fetch from cache) the full distance table from
+    /// `source`. Relaxations of a cache miss are charged to `metrics`.
+    fn row(&self, source: usize, metrics: &Metrics) -> Arc<[f64]> {
+        if let Some(row) = self.cache.get(source) {
+            return row;
+        }
+        let (dist, relaxations) = self.pre.schedule().run_seq(source);
+        metrics.work(Counter::Relaxation, relaxations);
+        let row: Arc<[f64]> = dist.into();
+        self.cache.insert(source, Arc::clone(&row));
+        row
+    }
+
+    /// Point-to-point distance `u → v` (`f64::INFINITY` if `v` is
+    /// unreachable). One scheduled run on a cache miss, a table lookup
+    /// on a hit.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::InvalidGraph`] if either endpoint is out of range.
+    pub fn distance(&self, u: usize, v: usize, metrics: &Metrics) -> Result<f64, SpsepError> {
+        self.check_vertex(u, "source")?;
+        self.check_vertex(v, "target")?;
+        let _span = spsep_trace::span!("oracle.distance", source = u, target = v);
+        Ok(self.row(u, metrics)[v])
+    }
+
+    /// The full single-source distance table from `u`, shared with the
+    /// cache (cheap to clone, immutable).
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::InvalidGraph`] if `u` is out of range.
+    pub fn source_table(&self, u: usize, metrics: &Metrics) -> Result<Arc<[f64]>, SpsepError> {
+        self.check_vertex(u, "source")?;
+        let _span = spsep_trace::span!("oracle.source_table", source = u);
+        Ok(self.row(u, metrics))
+    }
+
+    /// Bulk point-to-point queries: distances for `pairs`, in input
+    /// order.
+    ///
+    /// Pairs are grouped by source; tables the cache already holds are
+    /// reused (one hit per distinct source), and the missing tables are
+    /// materialized **in parallel** across sources through the rayon
+    /// pool. Each table is computed by the sequential schedule run, so
+    /// results — and the final cache state, filled in ascending source
+    /// order — are bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::InvalidGraph`] if any endpoint is out of range
+    /// (checked up front; no partial work).
+    pub fn batch(
+        &self,
+        pairs: &[(usize, usize)],
+        metrics: &Metrics,
+    ) -> Result<Vec<f64>, SpsepError> {
+        for &(u, v) in pairs {
+            self.check_vertex(u, "source")?;
+            self.check_vertex(v, "target")?;
+        }
+        let mut span = spsep_trace::span!("oracle.batch", pairs = pairs.len());
+        // Distinct sources, ascending: deterministic compute + insert order.
+        let mut sources: Vec<usize> = pairs.iter().map(|&(u, _)| u).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        // Rows this batch needs, pinned locally so evictions during the
+        // fill cannot invalidate answers mid-batch.
+        let mut local: HashMap<usize, Arc<[f64]>> = HashMap::new();
+        let mut missing: Vec<usize> = Vec::new();
+        for &s in &sources {
+            match self.cache.get(s) {
+                Some(row) => {
+                    local.insert(s, row);
+                }
+                None => missing.push(s),
+            }
+        }
+        span.add_ops(missing.len() as u64);
+        let computed: Vec<(Vec<f64>, u64)> = missing
+            .par_iter()
+            .map(|&s| self.pre.schedule().run_seq(s))
+            .collect();
+        for (&s, (dist, relaxations)) in missing.iter().zip(computed) {
+            metrics.work(Counter::Relaxation, relaxations);
+            let row: Arc<[f64]> = dist.into();
+            self.cache.insert(s, Arc::clone(&row));
+            local.insert(s, row);
+        }
+        Ok(pairs
+            .iter()
+            .map(|&(u, v)| {
+                let Some(row) = local.get(&u) else {
+                    // Every source was resolved into `local` above.
+                    unreachable!("batch source {u} missing from the local row set")
+                };
+                row[v]
+            })
+            .collect())
+    }
+
+    /// Cache counters (hits, misses, evictions, occupancy).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of original edges.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Which `E⁺` construction prepared this oracle.
+    pub fn algo(&self) -> Algorithm {
+        self.algo
+    }
+
+    /// Augmentation statistics (`|E⁺|`, `d_G`, leaf bound, raw pairs).
+    pub fn stats(&self) -> AugmentStats {
+        self.pre.stats()
+    }
+
+    /// Per-source arc-scan bound of the compiled schedule.
+    pub fn arcs_per_query(&self) -> u64 {
+        self.pre.arcs_per_query()
+    }
+
+    /// The underlying preprocessed instance (advanced use: path
+    /// recovery, custom schedule runs).
+    pub fn preprocessed(&self) -> &Preprocessed<Tropical> {
+        &self.pre
+    }
+
+    /// The graph this oracle serves.
+    pub fn graph(&self) -> &DiGraph<f64> {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spsep_separator::{builders, RecursionLimits};
+
+    fn grid_oracle(dims: [usize; 2], seed: u64) -> Oracle {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (g, _) = spsep_graph::generators::grid(&dims, &mut rng);
+        let tree = builders::grid_tree(&dims, RecursionLimits::default());
+        Oracle::prepare(g, tree, Algorithm::LeavesUp, &Metrics::new()).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_identical() {
+        let oracle = grid_oracle([7, 6], 21);
+        let metrics = Metrics::new();
+        let mut buf = Vec::new();
+        oracle.save(&mut buf).unwrap();
+        let served = Oracle::load(buf.as_slice()).unwrap();
+        assert_eq!(served.n(), oracle.n());
+        assert_eq!(served.m(), oracle.m());
+        assert_eq!(served.algo(), oracle.algo());
+        assert_eq!(served.stats().eplus_edges, oracle.stats().eplus_edges);
+        for s in 0..oracle.n() {
+            let a = oracle.source_table(s, &metrics).unwrap();
+            let b = served.source_table(s, &metrics).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_agrees_with_preprocessed_and_counts_cache() {
+        let oracle = grid_oracle([6, 6], 22);
+        let metrics = Metrics::new();
+        let (row0, _) = oracle.preprocessed().distances_seq(0);
+        let d = oracle.distance(0, 35, &metrics).unwrap();
+        assert_eq!(d.to_bits(), row0[35].to_bits());
+        // Second query from the same source hits the cache.
+        let before = metrics.work_of(Counter::Relaxation);
+        let d2 = oracle.distance(0, 17, &metrics).unwrap();
+        assert_eq!(d2.to_bits(), row0[17].to_bits());
+        assert_eq!(metrics.work_of(Counter::Relaxation), before);
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_row() {
+        let oracle = grid_oracle([6, 6], 23).with_cache_capacity(2);
+        let metrics = Metrics::new();
+        oracle.distance(0, 1, &metrics).unwrap(); // cache: {0}
+        oracle.distance(1, 2, &metrics).unwrap(); // cache: {0, 1}
+        oracle.distance(0, 3, &metrics).unwrap(); // hit → 0 most recent
+        oracle.distance(2, 3, &metrics).unwrap(); // evicts 1
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // 1 was evicted: querying it again misses; 0 still hits.
+        let misses = oracle.cache_stats().misses;
+        oracle.distance(0, 4, &metrics).unwrap();
+        assert_eq!(oracle.cache_stats().misses, misses);
+        oracle.distance(1, 4, &metrics).unwrap();
+        assert_eq!(oracle.cache_stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let oracle = grid_oracle([5, 5], 24).with_cache_capacity(0);
+        let metrics = Metrics::new();
+        oracle.distance(3, 4, &metrics).unwrap();
+        oracle.distance(3, 5, &metrics).unwrap();
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let oracle = grid_oracle([7, 5], 25);
+        let metrics = Metrics::new();
+        let pairs: Vec<(usize, usize)> = (0..20).map(|i| (i % 5, (i * 7) % 35)).collect();
+        let bulk = oracle.batch(&pairs, &metrics).unwrap();
+        let fresh = grid_oracle([7, 5], 25);
+        for (&(u, v), d) in pairs.iter().zip(&bulk) {
+            let single = fresh.distance(u, v, &metrics).unwrap();
+            assert_eq!(d.to_bits(), single.to_bits(), "pair ({u}, {v})");
+        }
+        // 5 distinct sources → 5 misses, and the next batch is all hits.
+        assert_eq!(oracle.cache_stats().misses, 5);
+        let again = oracle.batch(&pairs, &metrics).unwrap();
+        assert_eq!(again, bulk);
+        assert_eq!(oracle.cache_stats().misses, 5);
+        assert_eq!(oracle.cache_stats().hits, 5);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_typed_errors() {
+        let oracle = grid_oracle([4, 4], 26);
+        let metrics = Metrics::new();
+        assert!(oracle.distance(99, 0, &metrics).is_err());
+        assert!(oracle.distance(0, 99, &metrics).is_err());
+        assert!(oracle.source_table(99, &metrics).is_err());
+        assert!(oracle.batch(&[(0, 1), (99, 0)], &metrics).is_err());
+        // A failed batch does no partial work.
+        assert_eq!(oracle.cache_stats().misses, 0);
+    }
+}

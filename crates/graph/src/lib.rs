@@ -24,8 +24,12 @@
 // expects are confined to #[cfg(test)] code (internal invariants use
 // let-else + unreachable!, which documents *why* they cannot fire).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Every public item must explain itself — the crate is the paper's
+// reference implementation and doubles as its documentation.
+#![warn(missing_docs)]
 
 pub mod bitmatrix;
+pub mod bytes;
 pub mod dense;
 pub mod digraph;
 pub mod error;

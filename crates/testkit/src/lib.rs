@@ -3,7 +3,8 @@
 //! The robustness contract of the workspace is: **every** malformed
 //! input — a truncated file, an out-of-range id, a NaN weight, a
 //! decomposition that does not actually separate — yields a typed
-//! [`SpsepError`] or a recorded fallback to the baselines, and *never*
+//! [`SpsepError`](spsep_core::SpsepError) or a recorded fallback to the
+//! baselines, and *never*
 //! a panic or a silently wrong distance. This crate provides the
 //! corruptions; `tests/fault_injection.rs` drives them through the
 //! parsers and [`spsep_core::preprocess_or_fallback`] under
@@ -19,9 +20,18 @@
 //! * [`corrupt::instance_corruptions`] — structural damage to in-memory
 //!   `(graph, tree)` pairs: non-separating separators, shuffled node
 //!   levels, size mismatches, absorbing cycles.
+//!
+//! A third family targets the binary serving artifact:
+//!
+//! * [`corrupt::snapshot_corruptions`] — damage to `spsep-oracle/v1`
+//!   snapshots (truncation at several depths, bad magic, version skew,
+//!   flipped payload and checksum bytes, and checksum-*consistent*
+//!   semantic patches that defeat the integrity layer so the section
+//!   validators must catch them). Driven by `tests/oracle.rs`.
 
 pub mod corrupt;
 
 pub use corrupt::{
-    instance_corruptions, text_corruptions, CorruptInstance, TextCorruption, TextFormat,
+    instance_corruptions, snapshot_corruptions, text_corruptions, CorruptInstance,
+    SnapshotCorruption, TextCorruption, TextFormat,
 };

@@ -1,6 +1,6 @@
 //! Hierarchical span tracing for the spsep pipeline.
 //!
-//! The pipeline's cost model ([`spsep-pram`]) answers *how much* work and
+//! The pipeline's cost model (`spsep-pram`) answers *how much* work and
 //! depth an algorithm charged; this crate answers *where the wall time
 //! went*: every instrumented region opens a [`Span`] guard (usually via
 //! the [`span!`] macro), and on drop the span records its label,
@@ -36,6 +36,10 @@
 //! * [`chrome::validate_chrome_json`] — structural validator (required
 //!   fields, strictly nested spans per thread) used by unit tests and
 //!   the CI artifact job.
+
+// Every public item must explain itself — the crate is the paper's
+// reference implementation and doubles as its documentation.
+#![warn(missing_docs)]
 
 pub mod chrome;
 

@@ -4,7 +4,7 @@
 //! index space `0..len` into [`chunk_count`]`(len)` contiguous chunks
 //! whose boundaries are a **pure function of `len`** (never of the
 //! thread count), execute chunks on the pool via
-//! [`crate::pool::run_batch`], and merge per-chunk results **in chunk
+//! `pool::run_batch`, and merge per-chunk results **in chunk
 //! order**. Because neither the chunk structure nor the merge order can
 //! observe scheduling, every terminal operation — `collect`, `reduce`,
 //! `try_reduce`, `sum`, `par_sort_unstable` — returns *bit-identical*

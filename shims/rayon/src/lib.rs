@@ -4,9 +4,9 @@
 //! vendors the API subset it uses. Earlier revisions ran every
 //! `par_iter` sequentially and spawned an OS thread per [`join`]; this
 //! revision executes parallel regions on a fixed-size worker pool
-//! ([`mod@pool`]: shared injector queue, chunk-grain work stealing,
+//! (`pool`: shared injector queue, chunk-grain work stealing,
 //! steal-back `join`) while preserving a strict **determinism
-//! contract** ([`mod@iter`]: chunk boundaries are a pure function of
+//! contract** (`iter`: chunk boundaries are a pure function of
 //! input length, merges happen in chunk order), so results are
 //! bit-identical at any thread count.
 //!

@@ -2,31 +2,52 @@
 //! library.
 //!
 //! ```text
-//! spsep-cli info  <graph.gr>                          graph + decomposition stats
-//! spsep-cli tree  <graph.gr> -o <tree.st>             build and save a decomposition
-//! spsep-cli sssp  <graph.gr> -s <src> [...]           single-source distances
-//! spsep-cli reach <graph.gr> -s <src>                 reachable vertex count
+//! spsep-cli info    <graph.gr>                        graph + decomposition stats
+//! spsep-cli tree    <graph.gr>  -o <tree.st>          build and save a decomposition
+//! spsep-cli sssp    <graph.gr>  -s <src> [...]        single-source distances
+//! spsep-cli reach   <graph.gr>  -s <src>              reachable vertex count
+//! spsep-cli prepare <graph.gr>  -o <oracle.sps>       preprocess once, save snapshot
+//! spsep-cli serve   <oracle.sps> --queries <q.txt>    answer a query stream
 //! ```
 //!
+//! `prepare` + `serve` are the deployment mode the paper's cost model
+//! targets: run the expensive Sections 3–5 preprocessing once, persist
+//! the result as a versioned `spsep-oracle/v1` snapshot, then serve any
+//! number of cheap scheduled queries from it (DESIGN.md §10). Query
+//! files hold one query per line: `p <u> <v>` for a point-to-point
+//! distance, `s <u>` for a full single-source table, `c ...` comments
+//! (0-based vertex ids).
+//!
 //! Common flags (all subcommands):
-//!   -t <tree.st>       reuse a saved decomposition (paper comment (iv))
-//!   -a 41|43|44        E⁺ construction (default 41 = leaves-up)
-//!   -b bfs|centroid    decomposition builder (default bfs; centroid
-//!                      for tree-shaped graphs)
-//!   --print-dists      dump every distance (default: summary only)
-//!   --metrics          print the PRAM work/depth report and, where a
-//!                      preprocessing ran, the Theorem 4.1/5.1 work
-//!                      ledger (predicted-vs-measured ratios)
-//!   --metrics-out <f>  write the same report as JSON (spsep-metrics/v1)
-//!   --trace            print the hierarchical span tree to stderr
-//!   --trace-out <f>    write a Chrome trace-event JSON (load in
-//!                      Perfetto / chrome://tracing), including executor
-//!                      pool telemetry
+//!
+//! ```text
+//! -t <tree.st>          reuse a saved decomposition (paper comment (iv))
+//! -a 41|43|44           E⁺ construction (default 41 = leaves-up)
+//! -b bfs|centroid       decomposition builder (default bfs; centroid
+//!                       for tree-shaped graphs)
+//! --print-dists         dump every distance (default: summary only)
+//! --metrics             print the PRAM work/depth report and, where a
+//!                       preprocessing ran, the Theorem 4.1/5.1 work
+//!                       ledger (predicted-vs-measured ratios)
+//! --metrics-out <file>  write the same report as JSON (spsep-metrics/v1)
+//! --trace               print the hierarchical span tree to stderr
+//! --trace-out <file>    write a Chrome trace-event JSON (load in
+//!                       Perfetto / chrome://tracing), including executor
+//!                       pool telemetry
+//! ```
+//!
+//! `serve` additionally accepts:
+//!
+//! ```text
+//! --queries <q.txt>     the query stream (required)
+//! --cache <rows>        LRU capacity of the per-source table cache
+//! --batch               answer all point queries as one parallel batch
+//! ```
 //!
 //! Graphs are DIMACS `sp` files (`p sp n m` + `a u v w`, 1-based).
 
 use spsep::core::analysis::{work_ledger, WorkLedger};
-use spsep::core::{preprocess, Algorithm};
+use spsep::core::{preprocess, Algorithm, Oracle};
 use spsep::graph::semiring::Tropical;
 use spsep::graph::DiGraph;
 use spsep::pram::{Metrics, Report};
@@ -48,13 +69,18 @@ struct Args {
     metrics_out: Option<String>,
     trace: bool,
     trace_out: Option<String>,
+    queries: Option<String>,
+    cache: Option<usize>,
+    batch: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spsep-cli <info|tree|sssp|reach> <graph.gr> \
-         [-s source] [-a 41|43|44] [-t tree.st] [-o tree.st] [--print-dists]\n\
-         \x20       [--metrics] [--metrics-out m.json] [--trace] [--trace-out t.json]"
+        "usage: spsep-cli <info|tree|sssp|reach|prepare> <graph.gr> \
+         [-s source] [-a 41|43|44] [-t tree.st] [-o out] [--print-dists]\n\
+         \x20       [--metrics] [--metrics-out m.json] [--trace] [--trace-out t.json]\n\
+         \x20      spsep-cli serve <oracle.sps> --queries q.txt \
+         [--cache rows] [--batch] [--print-dists]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +102,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         metrics_out: None,
         trace: false,
         trace_out: None,
+        queries: None,
+        cache: None,
+        batch: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -101,6 +130,15 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--metrics-out" => args.metrics_out = Some(argv.next().ok_or_else(usage)?),
             "--trace" => args.trace = true,
             "--trace-out" => args.trace_out = Some(argv.next().ok_or_else(usage)?),
+            "--queries" => args.queries = Some(argv.next().ok_or_else(usage)?),
+            "--cache" => {
+                args.cache = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(usage)?,
+                )
+            }
+            "--batch" => args.batch = true,
             _ => return Err(usage()),
         }
     }
@@ -255,8 +293,185 @@ fn epilogue(args: &Args, metrics: &Metrics, ledger: Option<&WorkLedger>) -> Resu
     Ok(())
 }
 
+/// One record of a `serve` query stream.
+enum Query {
+    /// `p u v` — point-to-point distance.
+    Pair(usize, usize),
+    /// `s u` — full single-source table.
+    Source(usize),
+}
+
+/// Parse a query file: `c` comments, `p u v` pairs, `s u` sources
+/// (0-based ids). Unknown records and malformed fields are
+/// line-numbered errors.
+fn read_queries(path: &str) -> Result<Vec<Query>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let field = |f: Option<&str>, what: &str| -> Result<usize, String> {
+            f.ok_or_else(|| format!("{path}:{lineno}: missing {what}"))?
+                .parse()
+                .map_err(|_| format!("{path}:{lineno}: bad {what}"))
+        };
+        match parts.next() {
+            Some("p") => {
+                let u = field(parts.next(), "query source")?;
+                let v = field(parts.next(), "query target")?;
+                queries.push(Query::Pair(u, v));
+            }
+            Some("s") => queries.push(Query::Source(field(parts.next(), "query source")?)),
+            Some(other) => {
+                return Err(format!(
+                    "{path}:{lineno}: unknown query record '{other}' (expected p, s, or c)"
+                ));
+            }
+            None => {}
+        }
+    }
+    Ok(queries)
+}
+
+fn fmt_dist(d: f64) -> String {
+    if d.is_finite() {
+        format!("{d}")
+    } else {
+        "inf".into()
+    }
+}
+
+/// `p`-th percentile of sorted nanosecond latencies, in microseconds.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1000.0
+}
+
+/// `serve`: load a snapshot, answer a query stream, report throughput,
+/// latency percentiles, and cache behavior.
+fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
+    let snap_path = &args.graph_path;
+    let q_path = args
+        .queries
+        .as_ref()
+        .ok_or("serve needs --queries <q.txt>")?;
+    let t0 = std::time::Instant::now();
+    let file = File::open(snap_path).map_err(|e| format!("cannot open {snap_path}: {e}"))?;
+    let mut oracle =
+        Oracle::load(BufReader::new(file)).map_err(|e| format!("{snap_path}: {e}"))?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let Some(capacity) = args.cache {
+        oracle.set_cache_capacity(capacity);
+    }
+    println!(
+        "loaded {snap_path}: n = {}, m = {}, |E+| = {}, algo = {:?}, {load_ms:.1} ms",
+        oracle.n(),
+        oracle.m(),
+        oracle.stats().eplus_edges,
+        oracle.algo()
+    );
+    let queries = read_queries(q_path)?;
+    let num_pairs = queries
+        .iter()
+        .filter(|q| matches!(q, Query::Pair(..)))
+        .count();
+    let num_sources = queries.len() - num_pairs;
+
+    let t1 = std::time::Instant::now();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(queries.len());
+    if args.batch {
+        // All point queries as one parallel batch; source queries
+        // individually (they already produce whole tables).
+        let pairs: Vec<(usize, usize)> = queries
+            .iter()
+            .filter_map(|q| match *q {
+                Query::Pair(u, v) => Some((u, v)),
+                Query::Source(_) => None,
+            })
+            .collect();
+        let answers = oracle.batch(&pairs, metrics).map_err(|e| e.to_string())?;
+        if args.print_dists {
+            let mut out = String::new();
+            for (&(u, v), d) in pairs.iter().zip(&answers) {
+                use std::fmt::Write;
+                let _ = writeln!(out, "p {u} {v} {}", fmt_dist(*d));
+            }
+            print!("{out}");
+        }
+        for q in &queries {
+            if let Query::Source(u) = *q {
+                let row = oracle.source_table(u, metrics).map_err(|e| e.to_string())?;
+                let reachable = row.iter().filter(|d| d.is_finite()).count();
+                if args.print_dists {
+                    println!("s {u} reachable={reachable}");
+                }
+            }
+        }
+        let batch_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "batch: {} pairs + {} sources in {batch_ms:.1} ms",
+            pairs.len(),
+            num_sources
+        );
+    } else {
+        for q in &queries {
+            let q0 = std::time::Instant::now();
+            match *q {
+                Query::Pair(u, v) => {
+                    let d = oracle.distance(u, v, metrics).map_err(|e| e.to_string())?;
+                    if args.print_dists {
+                        println!("p {u} {v} {}", fmt_dist(d));
+                    }
+                }
+                Query::Source(u) => {
+                    let row = oracle.source_table(u, metrics).map_err(|e| e.to_string())?;
+                    let reachable = row.iter().filter(|d| d.is_finite()).count();
+                    if args.print_dists {
+                        println!("s {u} reachable={reachable}");
+                    }
+                }
+            }
+            latencies_ns.push(q0.elapsed().as_nanos() as u64);
+        }
+    }
+    let total_s = t1.elapsed().as_secs_f64();
+    let throughput = if total_s > 0.0 {
+        queries.len() as f64 / total_s
+    } else {
+        0.0
+    };
+    println!(
+        "serve: {} queries ({num_pairs} pairs, {num_sources} sources) in {:.1} ms, {throughput:.0} q/s",
+        queries.len(),
+        total_s * 1e3
+    );
+    if !latencies_ns.is_empty() {
+        latencies_ns.sort_unstable();
+        println!(
+            "latency: p50 = {:.1} us, p90 = {:.1} us, p99 = {:.1} us",
+            percentile_us(&latencies_ns, 50.0),
+            percentile_us(&latencies_ns, 90.0),
+            percentile_us(&latencies_ns, 99.0)
+        );
+    }
+    let cs = oracle.cache_stats();
+    println!(
+        "cache: hits = {}, misses = {}, evictions = {}, entries = {}/{}",
+        cs.hits, cs.misses, cs.evictions, cs.entries, cs.capacity
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(code) => {
             std::process::exit(if code == ExitCode::SUCCESS { 0 } else { 2 });
@@ -265,8 +480,13 @@ fn run() -> Result<(), String> {
     if args.trace || args.trace_out.is_some() {
         spsep::trace::enable();
     }
-    let g = load_graph(&args.graph_path)?;
     let metrics = Metrics::new();
+    if args.command == "serve" {
+        // `serve` takes a snapshot, not a DIMACS graph.
+        cmd_serve(&args, &metrics)?;
+        return epilogue(&args, &metrics, None);
+    }
+    let g = load_graph(&args.graph_path)?;
     let mut ledger: Option<WorkLedger> = None;
     match args.command.as_str() {
         "info" => {
@@ -336,6 +556,34 @@ fn run() -> Result<(), String> {
                 }
                 print!("{out}");
             }
+        }
+        "prepare" => {
+            // `-o` names the snapshot here; take it so obtain_tree does
+            // not also write a text tree to the same path.
+            let out_path = args
+                .tree_out
+                .take()
+                .ok_or("prepare needs -o <oracle.sps>")?;
+            let tree = obtain_tree(&g, &args)?;
+            let t0 = std::time::Instant::now();
+            let (n, m) = (g.n(), g.m());
+            let oracle = Oracle::prepare(g, tree.clone(), args.algo, &metrics)
+                .map_err(|e| e.to_string())?;
+            let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+            ledger = Some(work_ledger(&tree, args.algo, &metrics.report(), None));
+            let mut buf = Vec::new();
+            oracle.save(&mut buf).map_err(|e| e.to_string())?;
+            std::fs::write(&out_path, &buf)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            println!(
+                "prepared oracle: n = {n}, m = {m}, |E+| = {}, algo = {:?}",
+                oracle.stats().eplus_edges,
+                oracle.algo()
+            );
+            println!(
+                "snapshot: {} bytes → {out_path} ({prepare_ms:.1} ms preprocessing)",
+                buf.len()
+            );
         }
         "reach" => {
             if args.source >= g.n() {

@@ -188,6 +188,140 @@ fn metrics_flag_is_uniform_across_subcommands() {
 }
 
 #[test]
+fn prepare_then_serve_roundtrip() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-7");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let snapshot = dir.join("demo.sps");
+    let queries = dir.join("q.txt");
+    let mut f = std::fs::File::create(&queries).unwrap();
+    writeln!(f, "c demo query stream").unwrap();
+    writeln!(f, "p 0 2").unwrap();
+    writeln!(f, "p 1 3").unwrap();
+    writeln!(f, "s 0").unwrap();
+    writeln!(f, "p 0 2").unwrap();
+    drop(f);
+
+    let out = cli()
+        .arg("prepare")
+        .arg(&graph)
+        .arg("-o")
+        .arg(&snapshot)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("prepared oracle"), "{text}");
+    assert!(text.contains("snapshot:"), "{text}");
+    assert!(snapshot.exists());
+
+    // Serve, one query at a time: answers + latency + cache report.
+    let out = cli()
+        .arg("serve")
+        .arg(&snapshot)
+        .arg("--queries")
+        .arg(&queries)
+        .args(["--print-dists", "--metrics"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // dist(0→2) = 2 via the cycle, beating the chord weight 5.
+    assert!(text.lines().any(|l| l.trim() == "p 0 2 2"), "{text}");
+    assert!(text.contains("s 0 reachable=4"), "{text}");
+    assert!(text.contains("4 queries (3 pairs, 1 sources)"), "{text}");
+    assert!(text.contains("latency: p50"), "{text}");
+    // The repeated `p 0 2` and the `s 0` hit the cached row of source 0.
+    assert!(text.contains("hits = 2, misses = 2"), "{text}");
+    // The uniform observability epilogue also covers serve.
+    assert!(text.contains("metrics: work="), "{text}");
+
+    // Batched mode answers identically.
+    let out = cli()
+        .arg("serve")
+        .arg(&snapshot)
+        .arg("--queries")
+        .arg(&queries)
+        .args(["--batch", "--print-dists"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.trim() == "p 0 2 2"), "{text}");
+    assert!(text.contains("batch: 3 pairs + 1 sources"), "{text}");
+}
+
+#[test]
+fn serve_error_paths_are_messages_not_panics() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-8");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let snapshot = dir.join("demo.sps");
+    let out = cli()
+        .arg("prepare")
+        .arg(&graph)
+        .arg("-o")
+        .arg(&snapshot)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // prepare without -o.
+    let out = cli().arg("prepare").arg(&graph).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("-o <oracle.sps>"));
+
+    // serve without --queries.
+    let out = cli().arg("serve").arg(&snapshot).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--queries"));
+
+    // A corrupted snapshot is a typed parse error, not a panic.
+    let mut bytes = std::fs::read(&snapshot).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    let bad = dir.join("bad.sps");
+    std::fs::write(&bad, &bytes).unwrap();
+    let queries = dir.join("q.txt");
+    std::fs::write(&queries, "p 0 1\n").unwrap();
+    let out = cli()
+        .arg("serve")
+        .arg(&bad)
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    // An out-of-range query in the stream is reported, not panicked on.
+    std::fs::write(&queries, "p 0 99\n").unwrap();
+    let out = cli()
+        .arg("serve")
+        .arg(&snapshot)
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    // A malformed query record names its line.
+    std::fs::write(&queries, "p 0 1\nx 2 3\n").unwrap();
+    let out = cli()
+        .arg("serve")
+        .arg(&snapshot)
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains(":2:"), "{err}");
+}
+
+#[test]
 fn error_paths() {
     let out = cli().arg("info").arg("/nonexistent.gr").output().unwrap();
     assert!(!out.status.success());
