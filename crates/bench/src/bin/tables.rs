@@ -11,10 +11,12 @@
 //!     e17 --phases-in BENCH_phases.json        # re-render the artifact
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e18 --amortize-out BENCH_amortize.json   # oracle snapshot bench
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e19 --serve-out BENCH_serve.json         # daemon chaos-load bench
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 e17 e18 check
+//! e15 e16 e17 e18 e19 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
@@ -23,24 +25,27 @@
 //! <path>` renders E17 from a committed artifact instead of
 //! re-measuring; `--amortize-out <path>` / `--amortize-in <path>` do the
 //! same for E18's `spsep-amortize/v1` oracle-snapshot benchmark;
-//! `--smoke` shrinks E16/E17/E18 to CI-sized instances.
+//! `--serve-out <path>` / `--serve-in <path>` for E19's
+//! `spsep-serve-bench/v1` daemon chaos-load benchmark; `--smoke`
+//! shrinks E16/E17/E18/E19 to CI-sized instances.
 //!
 //! Unknown experiment ids and flags are reported with the valid set —
 //! never a bare panic.
 
-use spsep_bench::{amortize, experiments, kernels, phases};
+use spsep_bench::{amortize, experiments, kernels, phases, serve};
 
 /// Every experiment id `tables` understands, in presentation order.
 const VALID_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "fig1", "fig2", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18", "check", "all",
+    "e14", "e15", "e16", "e17", "e18", "e19", "check", "all",
 ];
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: tables [ids...] [--smoke] [--kernels-out p] [--phases-out p] \
-         [--phases-in p] [--amortize-out p] [--amortize-in p]\n\
+         [--phases-in p] [--amortize-out p] [--amortize-in p] \
+         [--serve-out p] [--serve-in p]\n\
          valid ids: {}",
         VALID_IDS.join(" ")
     );
@@ -71,6 +76,8 @@ fn main() {
     let mut phases_in: Option<String> = None;
     let mut amortize_out: Option<String> = None;
     let mut amortize_in: Option<String> = None;
+    let mut serve_out: Option<String> = None;
+    let mut serve_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -81,6 +88,8 @@ fn main() {
             "--phases-in" => phases_in = Some(flag_value(&mut it, "--phases-in")),
             "--amortize-out" => amortize_out = Some(flag_value(&mut it, "--amortize-out")),
             "--amortize-in" => amortize_in = Some(flag_value(&mut it, "--amortize-in")),
+            "--serve-out" => serve_out = Some(flag_value(&mut it, "--serve-out")),
+            "--serve-in" => serve_in = Some(flag_value(&mut it, "--serve-in")),
             flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
             id if !VALID_IDS.contains(&id) => fail(&format!("unknown experiment id '{id}'")),
             _ => args.push(a),
@@ -208,6 +217,28 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("amortize artifact failed validation: {e}")));
             if let Some(path) = &amortize_out {
                 write_or_fail(path, &json, "amortize artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
+        }
+    }
+    if want("e19") || serve_out.is_some() || serve_in.is_some() {
+        if let Some(path) = &serve_in {
+            let json = read_or_fail(path, "serve artifact");
+            let records = serve::read_serve_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "{hr}\nE19 — daemon serving latency from {path} ({} entries):\n\n{}",
+                records.len(),
+                serve::render_serve_table(&records)
+            );
+        } else {
+            let (report, records) = serve::e19_serve_latency(smoke);
+            println!("{hr}\n{report}");
+            let json = serve::serve_json(&records);
+            let entries = serve::validate_serve_json(&json)
+                .unwrap_or_else(|e| fail(&format!("serve artifact failed validation: {e}")));
+            if let Some(path) = &serve_out {
+                write_or_fail(path, &json, "serve artifact");
                 eprintln!("[tables] wrote {path} ({entries} entries)");
             }
         }

@@ -11,6 +11,7 @@ pub mod families;
 mod jsonv;
 pub mod kernels;
 pub mod phases;
+pub mod serve;
 
 /// Fixed-width table printer for experiment output.
 pub struct Table {

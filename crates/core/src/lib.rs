@@ -59,7 +59,7 @@ pub mod workspace;
 pub use augment::{AugmentStats, Augmentation};
 pub use error::SpsepError;
 pub use fallback::{preprocess_or_fallback, FallbackPolicy, FallbackReason, Prepared};
-pub use oracle::{CacheStats, Oracle};
+pub use oracle::{CacheStats, Oracle, ShardCacheStats};
 pub use query::{Preprocessed, QueryStats};
 
 use spsep_graph::{DiGraph, Semiring};

@@ -33,10 +33,23 @@
 //! workloads are observable with the same `--metrics`/`--trace` tooling
 //! as the preprocessing pipeline.
 //!
-//! Eviction is deterministic (least-recently-used by a monotone access
-//! stamp), and [`Oracle::batch`] materializes missing rows in sorted
-//! source order — the cache state after a batch is a pure function of
-//! the query stream, independent of thread count.
+//! The cache is **sharded** for concurrent serving (the daemon in
+//! `spsep-serve` hits one shared oracle from many worker threads): a
+//! source maps to the shard `source % shards`, each shard holds its own
+//! LRU state behind its own lock and its own hit/miss/eviction
+//! counters, so concurrent queries for different shards never contend.
+//! Within a shard, eviction is deterministic (least-recently-used by a
+//! monotone access stamp), and [`Oracle::batch`] materializes missing
+//! rows in sorted source order — the cache state after a batch is a
+//! pure function of the query stream, independent of thread count.
+//! Sharding never changes *answers* (a cached row is immutable and
+//! bit-identical to a fresh scheduled run); it only partitions which
+//! rows are resident.
+//!
+//! [`Oracle::set_cache_capacity`] takes `&self` and is safe to call
+//! concurrently with in-flight queries — reconfiguration swaps the
+//! whole sharded cache behind an `RwLock` that queries hold only for
+//! the duration of a lookup or insert, never while computing a row.
 
 use crate::augment::Augmentation;
 use crate::io::{read_snapshot, write_snapshot, Snapshot};
@@ -50,7 +63,7 @@ use spsep_separator::SepTree;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Default capacity (in source rows) of the oracle's LRU table cache.
 ///
@@ -59,8 +72,32 @@ use std::sync::{Arc, Mutex};
 /// streams (a few hot sources) hit almost always.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 
-/// Counters of the oracle's per-source table cache.
+/// Upper bound on the number of lock shards of the row cache.
+///
+/// The actual shard count is `min(capacity, MAX_CACHE_SHARDS)` so that
+/// every shard owns at least one row slot; 8 shards keep lock
+/// contention negligible for the daemon's worker counts (1–8) without
+/// fragmenting small caches.
+pub const MAX_CACHE_SHARDS: usize = 8;
+
+/// Counters of one lock shard of the row cache.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardCacheStats {
+    /// Queries answered from this shard's cached tables.
+    pub hits: u64,
+    /// Queries that had to materialize a table in this shard.
+    pub misses: u64,
+    /// Tables this shard evicted to respect its capacity slice.
+    pub evictions: u64,
+    /// Tables currently resident in this shard.
+    pub entries: usize,
+    /// This shard's slice of the total capacity.
+    pub capacity: usize,
+}
+
+/// Counters of the oracle's per-source table cache (aggregated over all
+/// shards, with the per-shard breakdown in [`CacheStats::shards`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from a cached table.
     pub hits: u64,
@@ -72,15 +109,25 @@ pub struct CacheStats {
     pub entries: usize,
     /// Capacity bound (0 = caching disabled).
     pub capacity: usize,
+    /// Per-shard breakdown (one entry per lock shard).
+    pub shards: Vec<ShardCacheStats>,
 }
 
-/// LRU cache of materialized per-source distance tables.
+/// Sharded LRU cache of materialized per-source distance tables.
 ///
-/// Hand-rolled (the workspace vendors no external crates): a map from
-/// source to `(access stamp, row)` plus a monotone tick; eviction
-/// removes the smallest stamp. Stamps are unique, so eviction order is
-/// deterministic for a given query stream.
+/// Hand-rolled (the workspace vendors no external crates): sources map
+/// to the shard `source % shards.len()`; each shard is a map from
+/// source to `(access stamp, row)` plus a monotone tick behind its own
+/// mutex, so concurrent lookups of different shards never contend.
+/// Eviction removes the smallest stamp *within the shard*; stamps are
+/// unique per shard, so eviction order is deterministic for a given
+/// query stream.
 struct RowCache {
+    capacity: usize,
+    shards: Vec<CacheShard>,
+}
+
+struct CacheShard {
     capacity: usize,
     inner: Mutex<RowCacheInner>,
     hits: AtomicU64,
@@ -93,9 +140,9 @@ struct RowCacheInner {
     rows: HashMap<usize, (u64, Arc<[f64]>)>,
 }
 
-impl RowCache {
-    fn new(capacity: usize) -> RowCache {
-        RowCache {
+impl CacheShard {
+    fn new(capacity: usize) -> CacheShard {
+        CacheShard {
             capacity,
             inner: Mutex::new(RowCacheInner {
                 tick: 0,
@@ -128,7 +175,7 @@ impl RowCache {
     }
 
     /// Insert a freshly computed row, evicting the least recently used
-    /// entry if at capacity. No-op when capacity is 0.
+    /// entry of this shard if at capacity. No-op when capacity is 0.
     fn insert(&self, source: usize, row: Arc<[f64]>) {
         if self.capacity == 0 {
             return;
@@ -151,14 +198,60 @@ impl RowCache {
         }
     }
 
-    fn stats(&self) -> CacheStats {
-        CacheStats {
+    fn stats(&self) -> ShardCacheStats {
+        ShardCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.inner.lock().map(|i| i.rows.len()).unwrap_or(0),
             capacity: self.capacity,
         }
+    }
+}
+
+impl RowCache {
+    fn new(capacity: usize) -> RowCache {
+        let num_shards = capacity.clamp(1, MAX_CACHE_SHARDS);
+        // Distribute the capacity across shards, earlier shards first;
+        // num_shards ≤ capacity, so every shard gets at least one slot
+        // (unless capacity is 0, which disables caching entirely).
+        let base = capacity / num_shards;
+        let extra = capacity % num_shards;
+        let shards = (0..num_shards)
+            .map(|i| CacheShard::new(base + usize::from(i < extra)))
+            .collect();
+        RowCache { capacity, shards }
+    }
+
+    fn shard(&self, source: usize) -> &CacheShard {
+        &self.shards[source % self.shards.len()]
+    }
+
+    fn get(&self, source: usize) -> Option<Arc<[f64]>> {
+        self.shard(source).get(source)
+    }
+
+    fn insert(&self, source: usize, row: Arc<[f64]>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.shard(source).insert(source, row);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let shards: Vec<ShardCacheStats> = self.shards.iter().map(CacheShard::stats).collect();
+        let mut agg = CacheStats {
+            capacity: self.capacity,
+            ..CacheStats::default()
+        };
+        for s in &shards {
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.evictions += s.evictions;
+            agg.entries += s.entries;
+        }
+        agg.shards = shards;
+        agg
     }
 }
 
@@ -195,7 +288,12 @@ pub struct Oracle {
     tree: SepTree,
     algo: Algorithm,
     pre: Preprocessed<Tropical>,
-    cache: RowCache,
+    /// The sharded row cache. The outer `RwLock` exists only so
+    /// [`Oracle::set_cache_capacity`] can swap the whole cache from
+    /// `&self` while queries are in flight; the query path holds the
+    /// read lock only across a shard lookup or insert, never while a
+    /// row is being computed.
+    cache: RwLock<RowCache>,
 }
 
 impl Oracle {
@@ -221,7 +319,7 @@ impl Oracle {
             tree,
             algo,
             pre,
-            cache: RowCache::new(DEFAULT_CACHE_CAPACITY),
+            cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
         })
     }
 
@@ -241,7 +339,7 @@ impl Oracle {
             tree,
             algo,
             pre,
-            cache: RowCache::new(DEFAULT_CACHE_CAPACITY),
+            cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
         }
     }
 
@@ -281,15 +379,41 @@ impl Oracle {
 
     /// Replace the table cache with an empty one of capacity `capacity`
     /// (rows; 0 disables caching). Resets the cache counters.
-    pub fn set_cache_capacity(&mut self, capacity: usize) {
-        self.cache = RowCache::new(capacity);
+    ///
+    /// Safe to call concurrently with in-flight queries and with other
+    /// reconfigurations (the serving daemon shares the oracle as
+    /// `Arc<Oracle>` across worker threads): the swap happens under a
+    /// write lock that queries only hold across individual cache
+    /// operations, so a query racing a resize either sees the old cache
+    /// or the new (empty) one — its *answer* is unaffected either way,
+    /// because cached rows are immutable and bit-identical to fresh
+    /// scheduled runs.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        let mut guard = match self.cache.write() {
+            Ok(g) => g,
+            // A poisoned lock cannot leave RowCache in a broken state
+            // (the writer only swaps the value); recover and proceed.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = RowCache::new(capacity);
     }
 
     /// Builder-style [`Oracle::set_cache_capacity`].
     #[must_use]
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Oracle {
+    pub fn with_cache_capacity(self, capacity: usize) -> Oracle {
         self.set_cache_capacity(capacity);
         self
+    }
+
+    /// Run `f` with a read guard on the current cache. The guard is
+    /// held only for the duration of `f` — callers must not compute
+    /// rows inside it. A poisoned lock (impossible from the cache's own
+    /// critical sections) is recovered, not propagated.
+    fn with_cache<T>(&self, f: impl FnOnce(&RowCache) -> T) -> T {
+        match self.cache.read() {
+            Ok(guard) => f(&guard),
+            Err(poisoned) => f(&poisoned.into_inner()),
+        }
     }
 
     fn check_vertex(&self, v: usize, role: &str) -> Result<(), SpsepError> {
@@ -305,13 +429,13 @@ impl Oracle {
     /// Materialize (or fetch from cache) the full distance table from
     /// `source`. Relaxations of a cache miss are charged to `metrics`.
     fn row(&self, source: usize, metrics: &Metrics) -> Arc<[f64]> {
-        if let Some(row) = self.cache.get(source) {
+        if let Some(row) = self.with_cache(|c| c.get(source)) {
             return row;
         }
         let (dist, relaxations) = self.pre.schedule().run_seq(source);
         metrics.work(Counter::Relaxation, relaxations);
         let row: Arc<[f64]> = dist.into();
-        self.cache.insert(source, Arc::clone(&row));
+        self.with_cache(|c| c.insert(source, Arc::clone(&row)));
         row
     }
 
@@ -374,7 +498,7 @@ impl Oracle {
         let mut local: HashMap<usize, Arc<[f64]>> = HashMap::new();
         let mut missing: Vec<usize> = Vec::new();
         for &s in &sources {
-            match self.cache.get(s) {
+            match self.with_cache(|c| c.get(s)) {
                 Some(row) => {
                     local.insert(s, row);
                 }
@@ -389,7 +513,7 @@ impl Oracle {
         for (&s, (dist, relaxations)) in missing.iter().zip(computed) {
             metrics.work(Counter::Relaxation, relaxations);
             let row: Arc<[f64]> = dist.into();
-            self.cache.insert(s, Arc::clone(&row));
+            self.with_cache(|c| c.insert(s, Arc::clone(&row)));
             local.insert(s, row);
         }
         Ok(pairs
@@ -404,9 +528,10 @@ impl Oracle {
             .collect())
     }
 
-    /// Cache counters (hits, misses, evictions, occupancy).
+    /// Cache counters (hits, misses, evictions, occupancy), aggregated
+    /// over all shards with the per-shard breakdown attached.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.with_cache(RowCache::stats)
     }
 
     /// Number of vertices.
@@ -498,22 +623,88 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_the_least_recently_used_row() {
-        let oracle = grid_oracle([6, 6], 23).with_cache_capacity(2);
+    fn lru_evicts_the_least_recently_used_row_within_a_shard() {
+        // Capacity 16 → MAX_CACHE_SHARDS (8) shards of 2 rows each.
+        // Sources 0, 8, 16 all land in shard 0 (source % 8).
+        let oracle = grid_oracle([6, 6], 23).with_cache_capacity(16);
         let metrics = Metrics::new();
-        oracle.distance(0, 1, &metrics).unwrap(); // cache: {0}
-        oracle.distance(1, 2, &metrics).unwrap(); // cache: {0, 1}
+        oracle.distance(0, 1, &metrics).unwrap(); // shard 0: {0}
+        oracle.distance(8, 2, &metrics).unwrap(); // shard 0: {0, 8}
         oracle.distance(0, 3, &metrics).unwrap(); // hit → 0 most recent
-        oracle.distance(2, 3, &metrics).unwrap(); // evicts 1
+        oracle.distance(16, 3, &metrics).unwrap(); // full → evicts 8
         let stats = oracle.cache_stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
-        // 1 was evicted: querying it again misses; 0 still hits.
+        assert_eq!(stats.shards.len(), MAX_CACHE_SHARDS);
+        assert_eq!(stats.shards[0].entries, 2);
+        assert_eq!(stats.shards[0].evictions, 1);
+        // 8 was evicted: querying it again misses; 0 still hits.
         let misses = oracle.cache_stats().misses;
         oracle.distance(0, 4, &metrics).unwrap();
         assert_eq!(oracle.cache_stats().misses, misses);
-        oracle.distance(1, 4, &metrics).unwrap();
+        oracle.distance(8, 4, &metrics).unwrap();
         assert_eq!(oracle.cache_stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn shard_layout_splits_the_capacity_exactly() {
+        let oracle = grid_oracle([5, 5], 27);
+        for capacity in [0, 1, 2, 7, 8, 9, 64] {
+            oracle.set_cache_capacity(capacity);
+            let stats = oracle.cache_stats();
+            assert_eq!(stats.capacity, capacity);
+            assert_eq!(
+                stats.shards.len(),
+                capacity.clamp(1, MAX_CACHE_SHARDS),
+                "capacity {capacity}"
+            );
+            let total: usize = stats.shards.iter().map(|s| s.capacity).sum();
+            assert_eq!(total, capacity, "capacity {capacity}");
+            if capacity > 0 {
+                assert!(stats.shards.iter().all(|s| s.capacity >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_and_resizes_never_change_answers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let oracle = std::sync::Arc::new(grid_oracle([6, 6], 28));
+        let metrics = Metrics::new();
+        let expected: Vec<u64> = (0..36)
+            .map(|v| oracle.distance(0, v, &metrics).unwrap().to_bits())
+            .collect();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let resizer = {
+            let oracle = std::sync::Arc::clone(&oracle);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut cap = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    oracle.set_cache_capacity(cap % 5);
+                    cap += 1;
+                }
+            })
+        };
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let oracle = std::sync::Arc::clone(&oracle);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let metrics = Metrics::new();
+                    for i in 0..200 {
+                        let v = (t * 7 + i) % 36;
+                        let d = oracle.distance(0, v, &metrics).unwrap();
+                        assert_eq!(d.to_bits(), expected[v], "target {v}");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        resizer.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! A blocking client for the daemon protocol.
+//!
+//! Used by `spsep-cli load`, the fault-injection suites, and anything
+//! else that wants typed request/response access to a running daemon.
+//! The escape hatches ([`Client::send_raw`], [`Client::shutdown_write`])
+//! exist so the chaos harness can put *exact* malformed bytes and
+//! mid-stream disconnects on the wire through the same connection
+//! type.
+
+use crate::protocol::{self, FrameIn, Request, Response, MAX_FRAME};
+use spsep_graph::SpsepError;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a query daemon.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connect with a connect/read/write deadline of `timeout` and the
+    /// default frame bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] when the daemon is unreachable.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client, SpsepError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| SpsepError::parse("daemon address resolves to nothing"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: MAX_FRAME,
+        })
+    }
+
+    /// Send one request and read its response.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] on transport failure; [`SpsepError::Parse`]
+    /// when the daemon closes mid-frame or answers with bytes the codec
+    /// rejects.
+    pub fn request(&mut self, req: &Request) -> Result<Response, SpsepError> {
+        let bytes = protocol::encode_request(req);
+        protocol::write_frame(&mut self.stream, &bytes)?;
+        self.read_response()
+    }
+
+    /// Read one response frame (after [`Client::request`] or
+    /// [`Client::send_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Parse`] if the daemon closed the connection or the
+    /// response does not decode; [`SpsepError::Io`] on transport
+    /// failure.
+    pub fn read_response(&mut self) -> Result<Response, SpsepError> {
+        match protocol::read_frame(&mut self.stream, self.max_frame)? {
+            FrameIn::Frame(payload) => protocol::decode_response(&payload),
+            FrameIn::Eof => Err(SpsepError::parse(
+                "daemon closed the connection before responding",
+            )),
+            FrameIn::IdleTimeout => Err(SpsepError::parse(
+                "read deadline expired waiting for the daemon's response",
+            )),
+        }
+    }
+
+    /// Try to read one response, distinguishing a clean close
+    /// (`Ok(None)`) from a decoded frame — what the corruption suites
+    /// assert with ("typed error *or* clean close").
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Parse`] on an undecodable or truncated response;
+    /// [`SpsepError::Io`] on transport failure.
+    pub fn read_response_or_close(&mut self) -> Result<Option<Response>, SpsepError> {
+        match protocol::read_frame(&mut self.stream, self.max_frame)? {
+            FrameIn::Frame(payload) => Ok(Some(protocol::decode_response(&payload)?)),
+            FrameIn::Eof | FrameIn::IdleTimeout => Ok(None),
+        }
+    }
+
+    /// Write raw bytes — frames, partial frames, or garbage — without
+    /// any codec involvement. The chaos injection primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] on transport failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), SpsepError> {
+        protocol::write_frame(&mut self.stream, bytes)
+    }
+
+    /// Half-close the write side — a mid-stream disconnect as the
+    /// daemon sees it.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] if the socket refuses the shutdown.
+    pub fn shutdown_write(&mut self) -> Result<(), SpsepError> {
+        self.stream.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,39 @@
+//! Long-lived concurrent query serving for the distance oracle.
+//!
+//! The paper's economics are prepare-once/query-many: preprocessing
+//! pays `O(d_G log n)`-depth work for the `E⁺` augmentation so every
+//! later query is a cheap scheduled run (Theorem 3.1 + §4). That only
+//! pays off when the prepared [`Oracle`](spsep_core::Oracle) stays
+//! resident and absorbs sustained concurrent traffic — this crate is
+//! that serving layer:
+//!
+//! * [`protocol`] — the hand-rolled length-prefixed wire format
+//!   (the workspace stays zero-dep), strict in both directions: every
+//!   malformed, truncated, or oversized frame becomes a typed error,
+//!   never a panic or a hang;
+//! * [`server`] — the daemon: bounded-admission accept loop,
+//!   thread-per-worker request loop over `Arc<Oracle>` (whose LRU row
+//!   cache is sharded for concurrency in `spsep-core`), per-request
+//!   deadlines, graceful drain-and-exit shutdown;
+//! * [`client`] — a blocking typed client, plus raw-byte escape
+//!   hatches for fault injection;
+//! * [`load`] — an open-loop load harness with zipfian source skew
+//!   and a chaos mode, feeding the committed `BENCH_serve.json`
+//!   artifact.
+//!
+//! The fault model and its tests live in `spsep-testkit`
+//! (`wire_corruptions()` and the daemon shutdown suite).
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod load;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use load::{run_load, LoadConfig, LoadReport, Mix};
+pub use protocol::{Request, Response, WireError, WireStats, MAX_FRAME};
+pub use server::{answer_query, install_signal_handlers, ServeConfig, Server, ServerHandle};

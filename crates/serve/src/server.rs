@@ -1,0 +1,765 @@
+//! The daemon: bounded-admission TCP listener, thread-per-worker
+//! request loop, graceful shutdown.
+//!
+//! ```text
+//!          accept loop (main thread, non-blocking poll)
+//!                 │  queue full → Overloaded frame, close (shed)
+//!                 │  draining   → ShuttingDown frame, close
+//!                 ▼
+//!        bounded connection queue (Mutex<VecDeque> + Condvar)
+//!                 │  pop ⇒ queue-wait sample
+//!                 ▼
+//!      worker 0 … worker W−1   (thread per worker, catch_unwind)
+//!                 │  framed requests, per-request deadlines
+//!                 ▼
+//!        Arc<Oracle> — sharded LRU row cache (spsep-core)
+//! ```
+//!
+//! Robustness invariants (pinned by `spsep-testkit`'s wire-corruption
+//! and shutdown suites):
+//!
+//! * **no panic escapes a worker** — connection handlers run under
+//!   [`std::panic::catch_unwind`]; a panic answers `Internal` and
+//!   closes only that connection;
+//! * **no hung connection** — every socket carries read/write
+//!   deadlines, so a dead or stalled peer costs at most one timeout;
+//! * **every refusal is typed** — shed connections get `Overloaded`,
+//!   drain-phase requests get `ShuttingDown`, malformed frames get
+//!   `Parse`, out-of-range queries get `InvalidQuery`;
+//! * **shutdown drains** — in-flight requests complete, queued
+//!   connections are answered with a typed error, the listener closes,
+//!   and [`Server::run`] returns the final stats (the daemon exits 0).
+
+use crate::protocol::{
+    self, Request, Response, WireError, WireStats, MAX_FRAME,
+};
+use spsep_core::{Algorithm, Oracle};
+use spsep_graph::SpsepError;
+use spsep_pram::Metrics;
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; each serves one connection at a time.
+    pub workers: usize,
+    /// Pending-connection queue bound. An accept that would exceed it
+    /// is shed with a typed `Overloaded` error — the admission-control
+    /// cap.
+    pub queue_depth: usize,
+    /// Frame payload bound in bytes (both directions).
+    pub max_frame: u32,
+    /// Per-request read deadline; doubles as the idle keep-alive at a
+    /// frame boundary.
+    pub read_timeout: Duration,
+    /// Per-response write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_frame: MAX_FRAME,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Paper-facing algorithm code used on the wire (Algorithm 4.1 → 41,
+/// Algorithm 4.3 → 43, Remark 4.4 → 44).
+fn algo_wire_code(algo: Algorithm) -> u8 {
+    match algo {
+        Algorithm::LeavesUp => 41,
+        Algorithm::PathDoubling => 43,
+        Algorithm::SharedDoubling => 44,
+    }
+}
+
+/// Log-linear latency histogram: bucket `i` covers `[2^(i−1), 2^i)`
+/// microseconds (bucket 0 is `< 1 µs`). Bounded memory regardless of
+/// how long the daemon lives; the load harness keeps exact samples,
+/// this is the daemon's own running account.
+struct LatencyHistogram {
+    buckets: [AtomicU64; 40],
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 ..= 1), in
+    /// microseconds. 0 when no samples were recorded.
+    fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+            }
+        }
+        (1u64 << (self.buckets.len() - 1)) as f64
+    }
+}
+
+/// Atomic serving counters, snapshotted into [`WireStats`].
+struct ServerStats {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+    errors: [AtomicU64; 5],
+    io_errors: AtomicU64,
+    queue_wait: LatencyHistogram,
+    service: LatencyHistogram,
+}
+
+impl ServerStats {
+    fn new() -> ServerStats {
+        ServerStats {
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            errors: std::array::from_fn(|_| AtomicU64::new(0)),
+            io_errors: AtomicU64::new(0),
+            queue_wait: LatencyHistogram::new(),
+            service: LatencyHistogram::new(),
+        }
+    }
+
+    fn count_error(&self, code: WireError) {
+        self.errors[code as usize - 1].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A connection in the pending queue. Connections enter once at
+/// admission and re-enter each time a worker *yields* them at a frame
+/// boundary (round-robin fairness: one keep-alive client cannot pin a
+/// worker while others wait).
+struct Conn {
+    stream: TcpStream,
+    /// When the connection (re-)entered the queue.
+    enqueued: Instant,
+    /// `true` until the first pop: the admission queue-wait sample is
+    /// taken once, not per yield cycle.
+    fresh: bool,
+    /// Last time a byte arrived — the keep-alive clock, preserved
+    /// across yields so the idle expiry stays `read_timeout` total.
+    last_activity: Instant,
+}
+
+/// Everything a worker needs, shared behind one `Arc`.
+struct Shared {
+    oracle: Arc<Oracle>,
+    config: ServeConfig,
+    metrics: Metrics,
+    stats: ServerStats,
+    queue: Mutex<VecDeque<Conn>>,
+    available: Condvar,
+    /// Set by [`ServerHandle::shutdown`], a `Shutdown` request, or a
+    /// Unix signal: stop admitting, start draining.
+    draining: AtomicBool,
+    /// Set once the accept loop has exited; lets idle workers leave.
+    accept_done: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal_received()
+    }
+
+    fn snapshot(&self) -> WireStats {
+        let cache = self.oracle.cache_stats();
+        WireStats {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            served: self.stats.served.load(Ordering::Relaxed),
+            errors: std::array::from_fn(|i| self.stats.errors[i].load(Ordering::Relaxed)),
+            io_errors: self.stats.io_errors.load(Ordering::Relaxed),
+            queue_wait_us: [
+                self.stats.queue_wait.quantile_us(0.50),
+                self.stats.queue_wait.quantile_us(0.99),
+            ],
+            service_us: [
+                self.stats.service.quantile_us(0.50),
+                self.stats.service.quantile_us(0.99),
+            ],
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_shards: cache.shards.len() as u32,
+            workers: self.config.workers as u32,
+        }
+    }
+}
+
+/// Remote control for a running [`Server`] — clone it into another
+/// thread and ask the daemon to drain and exit.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown: refuse new connections, drain the
+    /// queue with typed errors, let in-flight requests finish.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Live stats snapshot.
+    pub fn stats(&self) -> WireStats {
+        self.shared.snapshot()
+    }
+}
+
+/// The query daemon. Bind with [`Server::bind`], then block on
+/// [`Server::run`] until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and set up the shared worker state. The
+    /// daemon does not serve until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] when the address cannot be bound.
+    pub fn bind(oracle: Arc<Oracle>, config: ServeConfig) -> Result<Server, SpsepError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            oracle,
+            config,
+            metrics: Metrics::new(),
+            stats: ServerStats::new(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            draining: AtomicBool::new(false),
+            accept_done: AtomicBool::new(false),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] if the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, SpsepError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A control handle for triggering shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until shutdown is requested (via [`ServerHandle`], a
+    /// `Shutdown` request, or SIGINT/SIGTERM once
+    /// [`install_signal_handlers`] ran), then drain and return the
+    /// final stats report.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] only for hard listener failures; per-
+    /// connection errors are counted, answered, and never abort the
+    /// daemon.
+    pub fn run(self) -> Result<WireStats, SpsepError> {
+        let Server { listener, shared } = self;
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spsep-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<Result<_, _>>()?;
+
+        while !shared.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _)) => admit(&shared, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(SpsepError::Io(e)),
+            }
+        }
+        // Stop admitting: close the listener before draining so the
+        // port is released the moment shutdown begins.
+        drop(listener);
+        shared.accept_done.store(true, Ordering::SeqCst);
+        shared.available.notify_all();
+        for w in workers {
+            // A worker that panicked already counted an Internal error;
+            // joining it must not take the daemon down with it.
+            let _ = w.join();
+        }
+        Ok(shared.snapshot())
+    }
+}
+
+/// Admission control: enqueue the connection or shed it with a typed
+/// error frame.
+fn admit(shared: &Shared, stream: TcpStream) {
+    // Deadlines are set before any byte moves: even the shed path must
+    // not let a dead peer pin the accept loop.
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut q = lock_queue(shared);
+    if q.len() >= shared.config.queue_depth {
+        drop(q);
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        refuse(shared, stream, WireError::Overloaded, "connection queue full");
+        return;
+    }
+    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    let now = Instant::now();
+    q.push_back(Conn {
+        stream,
+        enqueued: now,
+        fresh: true,
+        last_activity: now,
+    });
+    drop(q);
+    shared.available.notify_one();
+}
+
+/// Best-effort typed refusal: write one error frame and close.
+fn refuse(shared: &Shared, mut stream: TcpStream, code: WireError, message: &str) {
+    shared.stats.count_error(code);
+    let resp = Response::Error {
+        code,
+        message: message.to_string(),
+    };
+    if let Ok(bytes) = protocol::encode_response(&resp, shared.config.max_frame) {
+        let _ = protocol::write_frame(&mut stream, &bytes);
+    }
+}
+
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+    match shared.queue.lock() {
+        Ok(g) => g,
+        // The queue holds plain values; a panic inside a critical
+        // section cannot leave it inconsistent.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// What a worker does with a connection after serving it for a while.
+enum ConnFate {
+    /// Closed (clean close, expiry, framing violation, drain).
+    Closed,
+    /// Other connections are waiting: put this one back in the queue
+    /// and serve them first (frame-granularity round-robin).
+    Yielded,
+}
+
+/// Worker thread: pop connections until shutdown has drained the
+/// queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let popped = {
+            let mut q = lock_queue(shared);
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutting_down() && shared.accept_done.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = match shared.available.wait_timeout(q, Duration::from_millis(50)) {
+                    Ok((g, _)) => g,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        let Some(mut conn) = popped else {
+            return;
+        };
+        if conn.fresh {
+            shared.stats.queue_wait.record(conn.enqueued.elapsed());
+            conn.fresh = false;
+        }
+        let outcome =
+            panic::catch_unwind(AssertUnwindSafe(|| serve_connection(shared, &mut conn)));
+        match outcome {
+            Ok(ConnFate::Yielded) => {
+                conn.enqueued = Instant::now();
+                let mut q = lock_queue(shared);
+                q.push_back(conn);
+                drop(q);
+                shared.available.notify_one();
+            }
+            Ok(ConnFate::Closed) => {}
+            Err(_) => {
+                // A panic in the oracle or codec must cost exactly one
+                // connection: answer Internal best-effort and move on.
+                let resp = Response::Error {
+                    code: WireError::Internal,
+                    message: "internal server error".to_string(),
+                };
+                shared.stats.count_error(WireError::Internal);
+                if let Ok(bytes) = protocol::encode_response(&resp, shared.config.max_frame) {
+                    let _ = protocol::write_frame(&mut conn.stream, &bytes);
+                }
+            }
+        }
+    }
+}
+
+/// `true` when other connections are waiting for a worker.
+fn others_waiting(shared: &Shared) -> bool {
+    !lock_queue(shared).is_empty()
+}
+
+/// The interval at which a worker waiting at a frame boundary
+/// re-checks the shutdown flag and the queue: bounds both graceful-
+/// shutdown latency and the yield latency for waiting connections,
+/// without shortening any mid-frame deadline.
+const BOUNDARY_POLL: Duration = Duration::from_millis(50);
+
+/// What arrived at a frame boundary.
+enum Boundary {
+    Frame(Vec<u8>),
+    /// Clean close or keep-alive expiry.
+    Close,
+    /// Nothing yet, but other connections are waiting — yield.
+    Yield,
+    /// Framing violation (answer typed, then close).
+    Broken(SpsepError),
+    /// Transport failure.
+    Dead,
+}
+
+/// Wait for the next frame. Polls the frame *start* at
+/// [`BOUNDARY_POLL`] so an idle connection notices shutdown within one
+/// tick and yields to waiting connections between requests; once the
+/// first byte arrives, the full per-request read deadline applies to
+/// the rest of the frame. The keep-alive clock (`last_activity`)
+/// spans yields, so the idle expiry is `read_timeout` of genuine
+/// silence, not per-visit.
+fn next_frame(shared: &Shared, conn: &mut Conn) -> Boundary {
+    let poll = shared.config.read_timeout.min(BOUNDARY_POLL);
+    let _ = conn.stream.set_read_timeout(Some(poll));
+    loop {
+        match protocol::poll_frame_start(&mut conn.stream) {
+            Ok(protocol::FrameStart::Eof) => return Boundary::Close,
+            Ok(protocol::FrameStart::Idle) => {
+                if shared.shutting_down()
+                    || conn.last_activity.elapsed() >= shared.config.read_timeout
+                {
+                    return Boundary::Close;
+                }
+                if others_waiting(shared) {
+                    return Boundary::Yield;
+                }
+            }
+            Ok(protocol::FrameStart::Started(b)) => {
+                conn.last_activity = Instant::now();
+                let _ = conn.stream.set_read_timeout(Some(shared.config.read_timeout));
+                return match protocol::read_frame_rest(
+                    &mut conn.stream,
+                    b,
+                    shared.config.max_frame,
+                ) {
+                    Ok(payload) => Boundary::Frame(payload),
+                    Err(SpsepError::Io(_)) => Boundary::Dead,
+                    Err(e) => Boundary::Broken(e),
+                };
+            }
+            Err(_) => return Boundary::Dead,
+        }
+    }
+}
+
+/// Serve one connection until it closes, breaks, or yields to waiting
+/// connections at a frame boundary.
+fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
+    loop {
+        let frame = match next_frame(shared, conn) {
+            Boundary::Frame(payload) => payload,
+            Boundary::Close => return ConnFate::Closed,
+            Boundary::Yield => return ConnFate::Yielded,
+            Boundary::Dead => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return ConnFate::Closed;
+            }
+            Boundary::Broken(e) => {
+                // Framing violation (oversized/zero prefix, mid-frame
+                // truncation or stall): answer typed, then close — the
+                // stream position is unrecoverable.
+                send(shared, &mut conn.stream, Response::Error {
+                    code: WireError::Parse,
+                    message: e.to_string(),
+                });
+                return ConnFate::Closed;
+            }
+        };
+        let stream = &mut conn.stream;
+        let started = Instant::now();
+        let req = match protocol::decode_request(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                // Payload-level damage: the framing is intact, so the
+                // connection stays usable after the typed reply.
+                let keep = send(shared, stream, Response::Error {
+                    code: WireError::Parse,
+                    message: e.to_string(),
+                });
+                if keep {
+                    continue;
+                }
+                return ConnFate::Closed;
+            }
+        };
+        // Requests arriving once the drain has begun are refused with a
+        // typed error; the request currently executing on each worker
+        // (and the control plane: Ping/Stats/Shutdown) still completes.
+        if shared.shutting_down()
+            && matches!(
+                req,
+                Request::Point { .. } | Request::Source { .. } | Request::Batch { .. } | Request::Info
+            )
+        {
+            send(shared, stream, Response::Error {
+                code: WireError::ShuttingDown,
+                message: "daemon is draining for shutdown".to_string(),
+            });
+            return ConnFate::Closed;
+        }
+        let resp = match req {
+            Request::Stats => Response::Stats(shared.snapshot()),
+            Request::Shutdown => {
+                shared.draining.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                send(shared, stream, Response::ShutdownAck);
+                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                return ConnFate::Closed;
+            }
+            ref q => match answer_query(&shared.oracle, q, &shared.metrics) {
+                Some(resp) => resp,
+                // Unreachable: Stats/Shutdown are handled above.
+                None => Response::Error {
+                    code: WireError::Internal,
+                    message: "unroutable request".to_string(),
+                },
+            },
+        };
+        shared.stats.service.record(started.elapsed());
+        let was_error = matches!(resp, Response::Error { .. });
+        if !send(shared, stream, resp) {
+            return ConnFate::Closed;
+        }
+        if !was_error {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Encode and write one response, downgrading an unencodable (over-
+/// sized) response to a typed `InvalidQuery` error and counting every
+/// error by taxonomy code. Returns `false` when the connection is no
+/// longer writable.
+fn send(shared: &Shared, stream: &mut TcpStream, resp: Response) -> bool {
+    if let Response::Error { code, .. } = resp {
+        shared.stats.count_error(code);
+    }
+    let bytes = match protocol::encode_response(&resp, shared.config.max_frame) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            let fallback = Response::Error {
+                code: WireError::InvalidQuery,
+                message: format!("response exceeds the frame bound: {e}"),
+            };
+            shared.stats.count_error(WireError::InvalidQuery);
+            match protocol::encode_response(&fallback, shared.config.max_frame) {
+                Ok(bytes) => bytes,
+                Err(_) => return false,
+            }
+        }
+    };
+    match protocol::write_frame(stream, &bytes) {
+        Ok(()) => true,
+        Err(_) => {
+            shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Answer a data-plane request directly against the oracle — the same
+/// routine serves the daemon and `spsep-cli serve`'s one-shot replay
+/// mode, so both speak the identical codec and produce bit-identical
+/// answers. Returns `None` for the daemon-only control requests
+/// (`Stats`, `Shutdown`).
+pub fn answer_query(oracle: &Oracle, req: &Request, metrics: &Metrics) -> Option<Response> {
+    let resp = match req {
+        Request::Ping => Response::Pong,
+        Request::Info => Response::Info {
+            n: oracle.n() as u64,
+            m: oracle.m() as u64,
+            eplus: oracle.stats().eplus_edges as u64,
+            algo: algo_wire_code(oracle.algo()),
+        },
+        Request::Point { source, target } => {
+            match checked_pair(oracle, *source, *target)
+                .and_then(|(u, v)| oracle.distance(u, v, metrics))
+            {
+                Ok(d) => Response::Dist(d),
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Source { source } => {
+            match checked_vertex(oracle, *source)
+                .and_then(|u| oracle.source_table(u, metrics))
+            {
+                Ok(row) => Response::Table(row.to_vec()),
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Batch { pairs } => {
+            let checked: Result<Vec<(usize, usize)>, SpsepError> = pairs
+                .iter()
+                .map(|&(u, v)| checked_pair(oracle, u, v))
+                .collect();
+            match checked.and_then(|pairs| oracle.batch(&pairs, metrics)) {
+                Ok(dists) => Response::Batch(dists),
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Stats | Request::Shutdown => return None,
+    };
+    Some(resp)
+}
+
+/// Reject wire vertex ids that do not fit `usize` or the instance.
+fn checked_vertex(oracle: &Oracle, v: u64) -> Result<usize, SpsepError> {
+    let n = oracle.n() as u64;
+    if v >= n {
+        return Err(SpsepError::invalid_vertex(
+            v.min(u32::MAX as u64) as u32,
+            format!("query vertex out of range 0..{n}"),
+        ));
+    }
+    Ok(v as usize)
+}
+
+fn checked_pair(oracle: &Oracle, u: u64, v: u64) -> Result<(usize, usize), SpsepError> {
+    Ok((checked_vertex(oracle, u)?, checked_vertex(oracle, v)?))
+}
+
+/// Map an oracle error onto the wire taxonomy.
+fn query_error(e: &SpsepError) -> Response {
+    let code = match e {
+        SpsepError::InvalidGraph { .. } | SpsepError::InvalidDecomposition { .. } => {
+            WireError::InvalidQuery
+        }
+        SpsepError::Parse { .. } => WireError::Parse,
+        _ => WireError::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Set by the signal handler; polled by the accept loop and workers.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM arrived since [`install_signal_handlers`].
+pub fn signal_received() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work: flip the flag; the serving threads
+    // poll it at their next loop iteration.
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGINT and SIGTERM into the graceful-shutdown flag so `kill`
+/// and Ctrl-C drain the daemon instead of aborting it mid-request.
+/// Uses the raw libc `signal(2)` binding (the workspace links libc
+/// through std already); a no-op on non-Unix targets.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `on_signal` is async-signal-safe (a single atomic
+        // store) and has the exact `extern "C" fn(i32)` ABI signal(2)
+        // expects.
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0.0, "empty histogram reports 0");
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.50);
+        assert!(p50 >= 16.0 && p50 <= 64.0, "p50 bucket bound {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 1000.0, "p99 bucket bound {p99}");
+    }
+
+    #[test]
+    fn algo_codes_follow_the_paper_numbering() {
+        assert_eq!(algo_wire_code(Algorithm::LeavesUp), 41);
+        assert_eq!(algo_wire_code(Algorithm::PathDoubling), 43);
+        assert_eq!(algo_wire_code(Algorithm::SharedDoubling), 44);
+    }
+}

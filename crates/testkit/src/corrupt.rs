@@ -468,6 +468,165 @@ pub fn instance_corruptions() -> Vec<CorruptInstance> {
     out
 }
 
+/// How the query daemon must react to a [`WireCorruption`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WireExpectation {
+    /// Payload-level damage inside an intact frame: the daemon answers
+    /// a typed `Parse` error **and the connection keeps serving** —
+    /// a follow-up request on the same connection succeeds.
+    TypedErrorKeepsConnection,
+    /// Framing-level damage: a typed error response, a clean close, or
+    /// both (error then close). Never a panic, never a hang.
+    TypedErrorOrClose,
+    /// Pipelined damage after a valid request: the valid request is
+    /// answered normally first, then the damage yields a typed error
+    /// or a clean close.
+    AnswerThenTypedErrorOrClose,
+}
+
+/// A named, deterministic corruption of the daemon wire protocol.
+///
+/// The byte sequences are built by hand — independently of
+/// `spsep-serve`'s codec — so the catalog tests the protocol's
+/// *specification* (u32 LE length prefix, then `u8` opcode + body)
+/// rather than whatever the implementation happens to emit.
+/// `spsep-testkit`'s wire suite drives every entry against a live
+/// daemon under a watchdog.
+pub struct WireCorruption {
+    /// Stable identifier (used in assertion messages).
+    pub name: &'static str,
+    /// The bytes to put on the wire, verbatim.
+    pub bytes: fn() -> Vec<u8>,
+    /// Half-close the write side after sending — a mid-stream
+    /// disconnect as the daemon sees it.
+    pub disconnect_after: bool,
+    /// The only acceptable daemon reactions.
+    pub expect: WireExpectation,
+}
+
+/// A valid `Ping` frame, hand-assembled: length 1, opcode 0x01.
+fn ping_frame() -> Vec<u8> {
+    vec![1, 0, 0, 0, 0x01]
+}
+
+/// Wrap `payload` in a length prefix.
+fn wire_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// All wire-protocol corruptions. Every entry must leave the daemon
+/// alive and every other connection unaffected: the reaction is a
+/// typed error response or a clean close — never a panic, never a hung
+/// connection, never a corrupted answer to anyone else.
+pub fn wire_corruptions() -> Vec<WireCorruption> {
+    use WireExpectation::*;
+    vec![
+        WireCorruption {
+            name: "wire: truncated frame, then disconnect (7 of 64 promised bytes)",
+            bytes: || {
+                let mut b = 64u32.to_le_bytes().to_vec();
+                b.extend_from_slice(&[0x03; 7]);
+                b
+            },
+            disconnect_after: true,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: partial length prefix, then disconnect",
+            bytes: || vec![0x10, 0x00],
+            disconnect_after: true,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: length prefix only, no payload, then disconnect",
+            bytes: || 16u32.to_le_bytes().to_vec(),
+            disconnect_after: true,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: oversized length prefix (u32::MAX)",
+            bytes: || u32::MAX.to_le_bytes().to_vec(),
+            disconnect_after: false,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: length prefix just past the 1 MiB frame bound",
+            bytes: || ((1u32 << 20) + 1).to_le_bytes().to_vec(),
+            disconnect_after: false,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: zero-length frame",
+            bytes: || 0u32.to_le_bytes().to_vec(),
+            disconnect_after: false,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: unassigned request opcode, well framed",
+            bytes: || wire_frame(&[0xee]),
+            disconnect_after: false,
+            expect: TypedErrorKeepsConnection,
+        },
+        WireCorruption {
+            name: "wire: response opcode sent as a request",
+            bytes: || wire_frame(&[0x41]),
+            disconnect_after: false,
+            expect: TypedErrorKeepsConnection,
+        },
+        WireCorruption {
+            name: "wire: trailing garbage inside a well-framed ping",
+            bytes: || wire_frame(&[0x01, 0xaa, 0xbb]),
+            disconnect_after: false,
+            expect: TypedErrorKeepsConnection,
+        },
+        WireCorruption {
+            name: "wire: truncated point request body (4 of 16 field bytes)",
+            bytes: || wire_frame(&[0x03, 1, 0, 0, 0]),
+            disconnect_after: false,
+            expect: TypedErrorKeepsConnection,
+        },
+        WireCorruption {
+            name: "wire: batch declaring u32::MAX pairs in a tiny frame",
+            bytes: || {
+                let mut p = vec![0x05];
+                p.extend_from_slice(&u32::MAX.to_le_bytes());
+                wire_frame(&p)
+            },
+            disconnect_after: false,
+            expect: TypedErrorKeepsConnection,
+        },
+        WireCorruption {
+            name: "wire: raw garbage burst (framing never establishes)",
+            bytes: || vec![0xaa; 4096],
+            disconnect_after: true,
+            expect: TypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: pipelined garbage after a valid ping",
+            bytes: || {
+                let mut b = ping_frame();
+                b.extend_from_slice(&u32::MAX.to_le_bytes());
+                b
+            },
+            disconnect_after: false,
+            expect: AnswerThenTypedErrorOrClose,
+        },
+        WireCorruption {
+            name: "wire: valid ping, then mid-frame disconnect",
+            bytes: || {
+                let mut b = ping_frame();
+                b.extend_from_slice(&64u32.to_le_bytes());
+                b.extend_from_slice(&[0x01; 5]);
+                b
+            },
+            disconnect_after: true,
+            expect: AnswerThenTypedErrorOrClose,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,5 +644,24 @@ mod tests {
         let s = "p sp 2 1\na 1 2 0.5\n";
         assert_eq!(set_token(s, 1, 3, "NaN"), "p sp 2 1\na 1 2 NaN\n");
         assert_eq!(drop_last_line(s), "p sp 2 1\n");
+    }
+
+    #[test]
+    fn wire_catalog_covers_every_corruption_class() {
+        let catalog = wire_corruptions();
+        assert!(catalog.len() >= 10, "only {} wire corruptions", catalog.len());
+        // Truncation, oversize, bad opcode, disconnect, and pipelining
+        // must all be represented (the classes ISSUE 6 names).
+        for class in ["truncated", "oversized", "opcode", "disconnect", "pipelined"] {
+            assert!(
+                catalog.iter().any(|c| c.name.contains(class)),
+                "no wire corruption covers '{class}'"
+            );
+        }
+        let mut names = std::collections::HashSet::new();
+        for c in &catalog {
+            assert!(names.insert(c.name), "duplicate corruption name {}", c.name);
+            assert!(!(c.bytes)().is_empty() || c.disconnect_after);
+        }
     }
 }

@@ -28,10 +28,17 @@
 //!   flipped payload and checksum bytes, and checksum-*consistent*
 //!   semantic patches that defeat the integrity layer so the section
 //!   validators must catch them). Driven by `tests/oracle.rs`.
+//!
+//! * [`corrupt::wire_corruptions`] — damage to the query daemon's
+//!   framed TCP protocol (truncated frames, oversized length prefixes,
+//!   unassigned opcodes, mid-frame disconnects, pipelined garbage),
+//!   each annotated with the only acceptable daemon reactions. Driven
+//!   against a *live* daemon by `tests/wire.rs`, watchdogged.
 
 pub mod corrupt;
 
 pub use corrupt::{
-    instance_corruptions, snapshot_corruptions, text_corruptions, CorruptInstance,
-    SnapshotCorruption, TextCorruption, TextFormat,
+    instance_corruptions, snapshot_corruptions, text_corruptions, wire_corruptions,
+    CorruptInstance, SnapshotCorruption, TextCorruption, TextFormat, WireCorruption,
+    WireExpectation,
 };

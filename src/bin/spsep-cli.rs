@@ -7,7 +7,9 @@
 //! spsep-cli sssp    <graph.gr>  -s <src> [...]        single-source distances
 //! spsep-cli reach   <graph.gr>  -s <src>              reachable vertex count
 //! spsep-cli prepare <graph.gr>  -o <oracle.sps>       preprocess once, save snapshot
-//! spsep-cli serve   <oracle.sps> --queries <q.txt>    answer a query stream
+//! spsep-cli serve   <oracle.sps> --queries <q.txt>    answer a query stream (replay)
+//! spsep-cli serve   <oracle.sps> --listen <addr>      long-lived TCP query daemon
+//! spsep-cli load    <host:port>  [--rate r --chaos p]  open-loop load harness
 //! ```
 //!
 //! `prepare` + `serve` are the deployment mode the paper's cost model
@@ -39,15 +41,42 @@
 //! `serve` additionally accepts:
 //!
 //! ```text
-//! --queries <q.txt>     the query stream (required)
+//! --queries <q.txt>     one-shot replay: answer the stream through the
+//!                       daemon codec (`answer_query`) and exit
+//! --listen <addr>       daemon mode: bind a TCP listener (port 0 picks a
+//!                       free port), serve until SIGINT/SIGTERM or a
+//!                       Shutdown request, then drain and print final stats
+//! --workers <k>         daemon worker threads (default 4)
+//! --queue-depth <d>     admission-control bound on queued connections;
+//!                       excess connections get a typed Overloaded error
 //! --cache <rows>        LRU capacity of the per-source table cache
-//! --batch               answer all point queries as one parallel batch
+//! --batch               replay: answer all point queries as one batch
+//! ```
+//!
+//! `load` drives an open-loop chaos load against a running daemon
+//! (latency is measured from the *scheduled* arrival, so coordinated
+//! omission cannot flatter the tail):
+//!
+//! ```text
+//! --rate <r>            offered arrivals per second (default 500)
+//! --duration <s>        seconds of load (default 2)
+//! --conns <k>           concurrent connections (default 4)
+//! --mix <p:s:b>         point : source : batch request weights
+//! --batch-size <k>      pairs per batch request
+//! --zipf <t>            source-skew exponent (0 = uniform)
+//! --chaos <p>           probability a request becomes a protocol
+//!                       corruption or mid-stream disconnect
+//! --seed <s>            deterministic schedule seed
+//! --verify <oracle.sps> check every answer bit-for-bit vs this snapshot
+//! --load-out <p.json>   write the validated spsep-serve-bench/v1 report
+//! --shutdown            ask the daemon to drain and exit afterwards
 //! ```
 //!
 //! Graphs are DIMACS `sp` files (`p sp n m` + `a u v w`, 1-based).
 
 use spsep::core::analysis::{work_ledger, WorkLedger};
 use spsep::core::{preprocess, Algorithm, Oracle};
+use spsep::serve;
 use spsep::graph::semiring::Tropical;
 use spsep::graph::DiGraph;
 use spsep::pram::{Metrics, Report};
@@ -72,6 +101,20 @@ struct Args {
     queries: Option<String>,
     cache: Option<usize>,
     batch: bool,
+    listen: Option<String>,
+    workers: usize,
+    queue_depth: usize,
+    rate: f64,
+    duration_s: f64,
+    conns: usize,
+    mix: Option<String>,
+    batch_size: Option<usize>,
+    zipf: Option<f64>,
+    chaos: f64,
+    seed: Option<u64>,
+    verify: Option<String>,
+    load_out: Option<String>,
+    shutdown_after: bool,
 }
 
 fn usage() -> ExitCode {
@@ -80,7 +123,13 @@ fn usage() -> ExitCode {
          [-s source] [-a 41|43|44] [-t tree.st] [-o out] [--print-dists]\n\
          \x20       [--metrics] [--metrics-out m.json] [--trace] [--trace-out t.json]\n\
          \x20      spsep-cli serve <oracle.sps> --queries q.txt \
-         [--cache rows] [--batch] [--print-dists]"
+         [--cache rows] [--batch] [--print-dists]\n\
+         \x20      spsep-cli serve <oracle.sps> --listen host:port \
+         [--workers k] [--queue-depth d] [--cache rows]\n\
+         \x20      spsep-cli load <host:port> [--rate r] [--duration s] \
+         [--conns k] [--mix p:s:b] [--batch-size k]\n\
+         \x20       [--zipf t] [--chaos p] [--seed s] [--verify oracle.sps] \
+         [--load-out p.json] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -105,6 +154,20 @@ fn parse_args() -> Result<Args, ExitCode> {
         queries: None,
         cache: None,
         batch: false,
+        listen: None,
+        workers: 4,
+        queue_depth: 64,
+        rate: 500.0,
+        duration_s: 2.0,
+        conns: 4,
+        mix: None,
+        batch_size: None,
+        zipf: None,
+        chaos: 0.0,
+        seed: None,
+        verify: None,
+        load_out: None,
+        shutdown_after: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -139,6 +202,76 @@ fn parse_args() -> Result<Args, ExitCode> {
                 )
             }
             "--batch" => args.batch = true,
+            "--listen" => args.listen = Some(argv.next().ok_or_else(usage)?),
+            "--workers" => {
+                args.workers = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w: &usize| w >= 1)
+                    .ok_or_else(usage)?
+            }
+            "--queue-depth" => {
+                args.queue_depth = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&d: &usize| d >= 1)
+                    .ok_or_else(usage)?
+            }
+            "--rate" => {
+                args.rate = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| *r > 0.0 && r.is_finite())
+                    .ok_or_else(usage)?
+            }
+            "--duration" => {
+                args.duration_s = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|d: &f64| *d > 0.0 && d.is_finite())
+                    .ok_or_else(usage)?
+            }
+            "--conns" => {
+                args.conns = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c: &usize| c >= 1)
+                    .ok_or_else(usage)?
+            }
+            "--mix" => args.mix = Some(argv.next().ok_or_else(usage)?),
+            "--batch-size" => {
+                args.batch_size = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b: &usize| b >= 1)
+                        .ok_or_else(usage)?,
+                )
+            }
+            "--zipf" => {
+                args.zipf = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|t: &f64| *t >= 0.0 && t.is_finite())
+                        .ok_or_else(usage)?,
+                )
+            }
+            "--chaos" => {
+                args.chaos = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| (0.0..=1.0).contains(p))
+                    .ok_or_else(usage)?
+            }
+            "--seed" => {
+                args.seed = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(usage)?,
+                )
+            }
+            "--verify" => args.verify = Some(argv.next().ok_or_else(usage)?),
+            "--load-out" => args.load_out = Some(argv.next().ok_or_else(usage)?),
+            "--shutdown" => args.shutdown_after = true,
             _ => return Err(usage()),
         }
     }
@@ -355,17 +488,12 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1000.0
 }
 
-/// `serve`: load a snapshot, answer a query stream, report throughput,
-/// latency percentiles, and cache behavior.
-fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
+/// Load an `spsep-oracle/v1` snapshot and apply the `--cache` override.
+fn load_snapshot(args: &Args) -> Result<Oracle, String> {
     let snap_path = &args.graph_path;
-    let q_path = args
-        .queries
-        .as_ref()
-        .ok_or("serve needs --queries <q.txt>")?;
     let t0 = std::time::Instant::now();
     let file = File::open(snap_path).map_err(|e| format!("cannot open {snap_path}: {e}"))?;
-    let mut oracle =
+    let oracle =
         Oracle::load(BufReader::new(file)).map_err(|e| format!("{snap_path}: {e}"))?;
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
     if let Some(capacity) = args.cache {
@@ -378,6 +506,37 @@ fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
         oracle.stats().eplus_edges,
         oracle.algo()
     );
+    Ok(oracle)
+}
+
+/// Answer one replay query through the daemon codec (`answer_query`),
+/// so one-shot replay and the TCP daemon share the exact same request
+/// routing, vertex validation, and cache path — bit-identical answers.
+fn replay_query(
+    oracle: &Oracle,
+    req: &serve::Request,
+    metrics: &Metrics,
+) -> Result<serve::Response, String> {
+    match serve::answer_query(oracle, req, metrics) {
+        Some(serve::Response::Error { message, .. }) => Err(message),
+        Some(resp) => Ok(resp),
+        None => Err("internal: unroutable replay request".into()),
+    }
+}
+
+/// `serve`: load a snapshot, then either run the long-lived TCP daemon
+/// (`--listen`) or replay a query file (`--queries`), reporting
+/// throughput, latency percentiles, and cache behavior.
+fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
+    if args.listen.is_some() {
+        let oracle = load_snapshot(args)?;
+        return cmd_daemon(args, oracle);
+    }
+    let q_path = args
+        .queries
+        .as_ref()
+        .ok_or("serve needs --queries <q.txt> or --listen <addr>")?;
+    let oracle = load_snapshot(args)?;
     let queries = read_queries(q_path)?;
     let num_pairs = queries
         .iter()
@@ -397,7 +556,13 @@ fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
                 Query::Source(_) => None,
             })
             .collect();
-        let answers = oracle.batch(&pairs, metrics).map_err(|e| e.to_string())?;
+        let wire_pairs: Vec<(u64, u64)> =
+            pairs.iter().map(|&(u, v)| (u as u64, v as u64)).collect();
+        let req = serve::Request::Batch { pairs: wire_pairs };
+        let answers = match replay_query(&oracle, &req, metrics)? {
+            serve::Response::Batch(answers) => answers,
+            other => return Err(format!("internal: batch answered with {other:?}")),
+        };
         if args.print_dists {
             let mut out = String::new();
             for (&(u, v), d) in pairs.iter().zip(&answers) {
@@ -408,7 +573,11 @@ fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
         }
         for q in &queries {
             if let Query::Source(u) = *q {
-                let row = oracle.source_table(u, metrics).map_err(|e| e.to_string())?;
+                let req = serve::Request::Source { source: u as u64 };
+                let row = match replay_query(&oracle, &req, metrics)? {
+                    serve::Response::Table(row) => row,
+                    other => return Err(format!("internal: source answered with {other:?}")),
+                };
                 let reachable = row.iter().filter(|d| d.is_finite()).count();
                 if args.print_dists {
                     println!("s {u} reachable={reachable}");
@@ -426,13 +595,24 @@ fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
             let q0 = std::time::Instant::now();
             match *q {
                 Query::Pair(u, v) => {
-                    let d = oracle.distance(u, v, metrics).map_err(|e| e.to_string())?;
+                    let req = serve::Request::Point {
+                        source: u as u64,
+                        target: v as u64,
+                    };
+                    let d = match replay_query(&oracle, &req, metrics)? {
+                        serve::Response::Dist(d) => d,
+                        other => return Err(format!("internal: point answered with {other:?}")),
+                    };
                     if args.print_dists {
                         println!("p {u} {v} {}", fmt_dist(d));
                     }
                 }
                 Query::Source(u) => {
-                    let row = oracle.source_table(u, metrics).map_err(|e| e.to_string())?;
+                    let req = serve::Request::Source { source: u as u64 };
+                    let row = match replay_query(&oracle, &req, metrics)? {
+                        serve::Response::Table(row) => row,
+                        other => return Err(format!("internal: source answered with {other:?}")),
+                    };
                     let reachable = row.iter().filter(|d| d.is_finite()).count();
                     if args.print_dists {
                         println!("s {u} reachable={reachable}");
@@ -456,17 +636,241 @@ fn cmd_serve(args: &Args, metrics: &Metrics) -> Result<(), String> {
     if !latencies_ns.is_empty() {
         latencies_ns.sort_unstable();
         println!(
-            "latency: p50 = {:.1} us, p90 = {:.1} us, p99 = {:.1} us",
+            "latency: p50 = {:.1} us, p90 = {:.1} us, p99 = {:.1} us \
+             (service time; queue-wait = 0 in one-shot replay)",
             percentile_us(&latencies_ns, 50.0),
             percentile_us(&latencies_ns, 90.0),
             percentile_us(&latencies_ns, 99.0)
         );
     }
+    print_cache_stats(&oracle);
+    Ok(())
+}
+
+/// The cache report shared by replay and daemon epilogues: aggregate
+/// counters plus the per-shard breakdown of the sharded-lock row cache.
+fn print_cache_stats(oracle: &Oracle) {
     let cs = oracle.cache_stats();
     println!(
         "cache: hits = {}, misses = {}, evictions = {}, entries = {}/{}",
         cs.hits, cs.misses, cs.evictions, cs.entries, cs.capacity
     );
+    let per_shard: Vec<String> = cs
+        .shards
+        .iter()
+        .map(|s| format!("{}/{}/{}", s.hits, s.misses, s.evictions))
+        .collect();
+    println!(
+        "cache shards: {} (hits/misses/evictions per shard: {})",
+        cs.shards.len(),
+        per_shard.join(" ")
+    );
+}
+
+/// `serve --listen`: the long-lived daemon. Binds, announces the bound
+/// address on stdout (port 0 resolves to a real port), serves until a
+/// SIGINT/SIGTERM or a wire `Shutdown` request starts the drain, then
+/// prints the final stats — queue-wait separated from service time —
+/// and returns cleanly (exit 0).
+fn cmd_daemon(args: &Args, oracle: Oracle) -> Result<(), String> {
+    let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+    let oracle = std::sync::Arc::new(oracle);
+    serve::install_signal_handlers();
+    let server = serve::Server::bind(
+        std::sync::Arc::clone(&oracle),
+        serve::ServeConfig {
+            addr: listen.to_string(),
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            ..serve::ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Stdout is line-buffered: this announcement is visible to a parent
+    // process (or test harness) as soon as it is printed.
+    println!(
+        "listening on {addr} ({} workers, queue depth {})",
+        args.workers, args.queue_depth
+    );
+    let stats = server.run().map_err(|e| format!("daemon failed: {e}"))?;
+    println!("shutdown: drained, final stats follow");
+    print_wire_stats(&stats);
+    print_cache_stats(&oracle);
+    Ok(())
+}
+
+/// Render a [`serve::WireStats`] snapshot: admission counters, the
+/// error taxonomy, and the queue-wait vs service-time split.
+fn print_wire_stats(stats: &serve::WireStats) {
+    println!(
+        "daemon: workers = {}, accepted = {}, shed = {}, served = {}, io_errors = {}",
+        stats.workers, stats.accepted, stats.shed, stats.served, stats.io_errors
+    );
+    println!(
+        "errors: parse = {}, invalid_query = {}, overloaded = {}, \
+         shutting_down = {}, internal = {}",
+        stats.errors[0], stats.errors[1], stats.errors[2], stats.errors[3], stats.errors[4]
+    );
+    println!(
+        "latency: queue-wait p50 = {:.1} us, p99 = {:.1} us; \
+         service p50 = {:.1} us, p99 = {:.1} us",
+        stats.queue_wait_us[0], stats.queue_wait_us[1], stats.service_us[0], stats.service_us[1]
+    );
+}
+
+/// Parse a `--mix p:s:b` weight triple.
+fn parse_mix(text: &str) -> Result<serve::Mix, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    let [p, s, b] = parts.as_slice() else {
+        return Err(format!("--mix wants point:source:batch, got '{text}'"));
+    };
+    let w = |t: &str, what: &str| -> Result<u32, String> {
+        t.parse()
+            .map_err(|_| format!("--mix: bad {what} weight '{t}'"))
+    };
+    let mix = serve::Mix {
+        point: w(p, "point")?,
+        source: w(s, "source")?,
+        batch: w(b, "batch")?,
+    };
+    if mix.point + mix.source + mix.batch == 0 {
+        return Err("--mix: at least one weight must be positive".into());
+    }
+    Ok(mix)
+}
+
+/// `load`: drive the open-loop chaos load harness against a running
+/// daemon, print the report, optionally write the validated
+/// `spsep-serve-bench/v1` artifact, and optionally ask the daemon to
+/// shut down. Exits non-zero when any answer diverged from the
+/// verification oracle or a chaos injection went unhandled.
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let addr = &args.graph_path;
+    // Reject malformed flags before touching the network.
+    let mix = match &args.mix {
+        Some(text) => Some(parse_mix(text)?),
+        None => None,
+    };
+    // The sampling range: from the --verify snapshot when given (which
+    // then also checks every answer bit-for-bit), else from the
+    // daemon's own Info response.
+    let (n, verify) = match &args.verify {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let oracle =
+                Oracle::load(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+            (oracle.n(), Some(std::sync::Arc::new(oracle)))
+        }
+        None => {
+            let mut client = serve::Client::connect(addr.as_str(), std::time::Duration::from_secs(5))
+                .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+            match client.request(&serve::Request::Info) {
+                Ok(serve::Response::Info { n, .. }) => (n as usize, None),
+                Ok(other) => return Err(format!("daemon Info answered with {other:?}")),
+                Err(e) => return Err(format!("daemon Info failed: {e}")),
+            }
+        }
+    };
+    let defaults = serve::LoadConfig::default();
+    let config = serve::LoadConfig {
+        addr: addr.clone(),
+        rate: args.rate,
+        duration: std::time::Duration::from_secs_f64(args.duration_s),
+        connections: args.conns,
+        mix: mix.unwrap_or(defaults.mix),
+        batch_size: args.batch_size.unwrap_or(defaults.batch_size),
+        zipf_theta: args.zipf.unwrap_or(defaults.zipf_theta),
+        n,
+        chaos: args.chaos,
+        seed: args.seed.unwrap_or(defaults.seed),
+        verify,
+        ..defaults
+    };
+    let report = serve::run_load(&config).map_err(|e| format!("load against {addr}: {e}"))?;
+
+    println!(
+        "load: scheduled = {}, ok = {}, chaos handled = {}/{}, {:.2} s elapsed, {:.0} q/s",
+        report.scheduled,
+        report.ok,
+        report.chaos_handled,
+        report.chaos_sent,
+        report.elapsed.as_secs_f64(),
+        report.qps
+    );
+    println!(
+        "latency (open-loop, from scheduled arrival): p50 = {:.1} us, \
+         p99 = {:.1} us, p999 = {:.1} us",
+        report.latency_us[0], report.latency_us[1], report.latency_us[2]
+    );
+    if report.errors.is_empty() {
+        println!("errors: none");
+    } else {
+        let parts: Vec<String> = report
+            .errors
+            .iter()
+            .map(|(name, count)| format!("{name} = {count}"))
+            .collect();
+        println!("errors: {}", parts.join(", "));
+    }
+    if let Some(stats) = &report.daemon {
+        print_wire_stats(stats);
+        println!(
+            "cache (daemon): hits = {}, misses = {}, evictions = {}, shards = {}",
+            stats.cache_hits, stats.cache_misses, stats.cache_evictions, stats.cache_shards
+        );
+    }
+
+    if let Some(path) = &args.load_out {
+        let stats = report
+            .daemon
+            .as_ref()
+            .ok_or("--load-out needs the daemon's final stats, but Stats failed")?;
+        let record = spsep_bench::serve::ServeRecord {
+            workers: stats.workers as usize,
+            rate: args.rate,
+            duration_s: args.duration_s,
+            connections: args.conns,
+            scheduled: report.scheduled,
+            ok: report.ok,
+            chaos_sent: report.chaos_sent,
+            chaos_handled: report.chaos_handled,
+            qps: report.qps,
+            latency_us: report.latency_us,
+            errors: report.errors.clone(),
+            served: stats.served,
+            shed: stats.shed,
+            queue_wait_us: stats.queue_wait_us,
+            service_us: stats.service_us,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_shards: stats.cache_shards as u64,
+        };
+        let json = spsep_bench::serve::serve_json(&[record]);
+        spsep_bench::serve::validate_serve_json(&json)
+            .map_err(|e| format!("load report failed validation: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote load report to {path}");
+    }
+
+    if args.shutdown_after {
+        let mut client = serve::Client::connect(addr.as_str(), std::time::Duration::from_secs(5))
+            .map_err(|e| format!("cannot reach daemon for shutdown: {e}"))?;
+        match client.request(&serve::Request::Shutdown) {
+            Ok(serve::Response::ShutdownAck) => println!("daemon acknowledged shutdown"),
+            Ok(other) => return Err(format!("shutdown answered with {other:?}")),
+            Err(e) => return Err(format!("shutdown request failed: {e}")),
+        }
+    }
+
+    let mismatches = *report.errors.get("verify_mismatch").unwrap_or(&0);
+    let unhandled = *report.errors.get("chaos_unhandled").unwrap_or(&0);
+    if mismatches > 0 || unhandled > 0 {
+        return Err(format!(
+            "load failed: {mismatches} verification mismatches, \
+             {unhandled} unhandled chaos injections"
+        ));
+    }
     Ok(())
 }
 
@@ -484,6 +888,11 @@ fn run() -> Result<(), String> {
     if args.command == "serve" {
         // `serve` takes a snapshot, not a DIMACS graph.
         cmd_serve(&args, &metrics)?;
+        return epilogue(&args, &metrics, None);
+    }
+    if args.command == "load" {
+        // `load` takes a daemon address, not a file at all.
+        cmd_load(&args)?;
         return epilogue(&args, &metrics, None);
     }
     let g = load_graph(&args.graph_path)?;

@@ -16,7 +16,10 @@
 //! * [`tvpi`] — the difference-constraint application;
 //! * [`pram`] — work/depth accounting under the EREW PRAM cost model;
 //! * [`trace`] — hierarchical spans, the Chrome trace-event exporter, and
-//!   the human span-tree report (DESIGN.md §9).
+//!   the human span-tree report (DESIGN.md §9);
+//! * [`serve`] — the long-lived TCP query daemon: framed protocol,
+//!   admission control, graceful shutdown, and the fault-injecting
+//!   load harness (DESIGN.md §11).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -26,5 +29,6 @@ pub use spsep_graph as graph;
 pub use spsep_planar as planar;
 pub use spsep_pram as pram;
 pub use spsep_separator as separator;
+pub use spsep_serve as serve;
 pub use spsep_trace as trace;
 pub use spsep_tvpi as tvpi;

@@ -342,3 +342,116 @@ fn error_paths() {
     let out = cli().arg("bogus").arg(&graph).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn daemon_serves_load_and_exits_zero_on_shutdown() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join("spsep-cli-test-9");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_demo_graph(&dir);
+    let snapshot = dir.join("demo.sps");
+    let out = cli()
+        .arg("prepare")
+        .arg(&graph)
+        .arg("-o")
+        .arg(&snapshot)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Start the daemon on an ephemeral port; its first stdout line
+    // announces the resolved address (stdout is line-buffered).
+    let mut daemon = cli()
+        .arg("serve")
+        .arg(&snapshot)
+        .args(["--listen", "127.0.0.1:0", "--workers", "2", "--queue-depth", "16"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(daemon.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    // Chaos load with bit-identity verification against the snapshot,
+    // the spsep-serve-bench/v1 artifact, and a final shutdown request.
+    let report_path = dir.join("load.json");
+    let out = cli()
+        .arg("load")
+        .arg(&addr)
+        .args(["--rate", "400", "--duration", "1", "--conns", "2"])
+        .args(["--chaos", "0.1", "--seed", "7", "--zipf", "0.5"])
+        .arg("--verify")
+        .arg(&snapshot)
+        .arg("--load-out")
+        .arg(&report_path)
+        .arg("--shutdown")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "load failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("load: scheduled = 400"), "{text}");
+    assert!(text.contains("latency (open-loop"), "{text}");
+    assert!(text.contains("daemon acknowledged shutdown"), "{text}");
+
+    // The written report is a valid single-entry artifact.
+    let json = std::fs::read_to_string(&report_path).unwrap();
+    assert_eq!(
+        spsep_bench::serve::validate_serve_json(&json),
+        Ok(1),
+        "{json}"
+    );
+
+    // The daemon drains and exits 0, with the final stats separating
+    // queue-wait from service time.
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited {status:?}");
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let tail = rest.join("\n");
+    assert!(tail.contains("shutdown: drained"), "{tail}");
+    assert!(tail.contains("queue-wait p50"), "{tail}");
+    assert!(tail.contains("service p50"), "{tail}");
+    assert!(tail.contains("cache shards:"), "{tail}");
+}
+
+#[test]
+fn load_error_paths_are_messages_not_panics() {
+    // No daemon at this address: a connect error, not a panic.
+    let out = cli()
+        .arg("load")
+        .arg("127.0.0.1:1")
+        .args(["--duration", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    // Malformed --mix is a usage error.
+    let out = cli()
+        .arg("load")
+        .arg("127.0.0.1:1")
+        .args(["--mix", "1:2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--mix"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
