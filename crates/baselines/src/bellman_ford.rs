@@ -305,8 +305,8 @@ mod tests {
         let seq = bellman_ford(&g, 0).unwrap();
         let (par, _, rounds) = parallel_bellman_ford(&g, 0, g.n()).unwrap();
         assert!(rounds <= g.n());
-        for v in 0..g.n() {
-            assert!((seq.dist[v] - par[v]).abs() < 1e-9);
+        for (v, &p) in par.iter().enumerate() {
+            assert!((seq.dist[v] - p).abs() < 1e-9);
         }
     }
 
@@ -331,8 +331,8 @@ mod tests {
         let (g, _) = generators::grid(&[4, 7], &mut rng);
         let plain = bellman_ford(&g, 2).unwrap();
         let generic = bellman_ford_semiring::<Tropical>(&g, 2).unwrap();
-        for v in 0..g.n() {
-            assert!((plain.dist[v] - generic[v]).abs() < 1e-9);
+        for (v, &gd) in generic.iter().enumerate() {
+            assert!((plain.dist[v] - gd).abs() < 1e-9);
         }
     }
 

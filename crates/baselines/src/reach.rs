@@ -34,8 +34,8 @@ mod tests {
         let closure = transitive_closure_dense(&g);
         for s in 0..g.n() {
             let bfs = reachable_from(&g, s);
-            for v in 0..g.n() {
-                assert_eq!(closure.get(s, v), bfs[v], "source {s} vertex {v}");
+            for (v, &b) in bfs.iter().enumerate() {
+                assert_eq!(closure.get(s, v), b, "source {s} vertex {v}");
             }
         }
     }
@@ -49,8 +49,8 @@ mod tests {
         let r = reachable_from(&g, 0);
         assert!(r[0]);
         // Nothing in layer 0 other than the source itself is reachable.
-        for v in 1..6 {
-            assert!(!r[v]);
+        for (v, &reached) in r.iter().enumerate().take(6).skip(1) {
+            assert!(!reached, "vertex {v} should be unreachable");
         }
     }
 }

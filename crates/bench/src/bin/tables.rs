@@ -13,10 +13,12 @@
 //!     e18 --amortize-out BENCH_amortize.json   # oracle snapshot bench
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e19 --serve-out BENCH_serve.json         # daemon chaos-load bench
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e20 --mmap-out BENCH_mmap.json           # v1-decode vs v2-mmap load
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 e17 e18 e19 check
+//! e15 e16 e17 e18 e19 e20 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
@@ -26,18 +28,20 @@
 //! re-measuring; `--amortize-out <path>` / `--amortize-in <path>` do the
 //! same for E18's `spsep-amortize/v1` oracle-snapshot benchmark;
 //! `--serve-out <path>` / `--serve-in <path>` for E19's
-//! `spsep-serve-bench/v1` daemon chaos-load benchmark; `--smoke`
-//! shrinks E16/E17/E18/E19 to CI-sized instances.
+//! `spsep-serve-bench/v1` daemon chaos-load benchmark; `--mmap-out
+//! <path>` / `--mmap-in <path>` for E20's `spsep-mmap-bench/v1`
+//! v1-decode vs v2-mmap load benchmark; `--smoke` shrinks
+//! E16/E17/E18/E19/E20 to CI-sized instances.
 //!
 //! Unknown experiment ids and flags are reported with the valid set —
 //! never a bare panic.
 
-use spsep_bench::{amortize, experiments, kernels, phases, serve};
+use spsep_bench::{amortize, experiments, kernels, mmap, phases, serve};
 
 /// Every experiment id `tables` understands, in presentation order.
 const VALID_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "fig1", "fig2", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18", "e19", "check", "all",
+    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "check", "all",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -45,7 +49,7 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage: tables [ids...] [--smoke] [--kernels-out p] [--phases-out p] \
          [--phases-in p] [--amortize-out p] [--amortize-in p] \
-         [--serve-out p] [--serve-in p]\n\
+         [--serve-out p] [--serve-in p] [--mmap-out p] [--mmap-in p]\n\
          valid ids: {}",
         VALID_IDS.join(" ")
     );
@@ -78,6 +82,8 @@ fn main() {
     let mut amortize_in: Option<String> = None;
     let mut serve_out: Option<String> = None;
     let mut serve_in: Option<String> = None;
+    let mut mmap_out: Option<String> = None;
+    let mut mmap_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -90,6 +96,8 @@ fn main() {
             "--amortize-in" => amortize_in = Some(flag_value(&mut it, "--amortize-in")),
             "--serve-out" => serve_out = Some(flag_value(&mut it, "--serve-out")),
             "--serve-in" => serve_in = Some(flag_value(&mut it, "--serve-in")),
+            "--mmap-out" => mmap_out = Some(flag_value(&mut it, "--mmap-out")),
+            "--mmap-in" => mmap_in = Some(flag_value(&mut it, "--mmap-in")),
             flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
             id if !VALID_IDS.contains(&id) => fail(&format!("unknown experiment id '{id}'")),
             _ => args.push(a),
@@ -239,6 +247,33 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("serve artifact failed validation: {e}")));
             if let Some(path) = &serve_out {
                 write_or_fail(path, &json, "serve artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
+        }
+    }
+    if want("e20") || mmap_out.is_some() || mmap_in.is_some() {
+        if let Some(path) = &mmap_in {
+            let json = read_or_fail(path, "mmap artifact");
+            let records = mmap::read_mmap_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "{hr}\nE20 — snapshot load paths from {path} ({} entries):\n\n{}",
+                records.len(),
+                mmap::render_mmap_table(&records)
+            );
+        } else {
+            let (report, records) = mmap::e20_mmap(smoke);
+            println!("{hr}\n{report}");
+            assert!(
+                records.iter().all(|r| r.bit_identical),
+                "a snapshot-loaded oracle diverged from fresh preprocessing — \
+                 determinism contract broken"
+            );
+            let json = mmap::mmap_json(&records);
+            let entries = mmap::validate_mmap_json(&json)
+                .unwrap_or_else(|e| fail(&format!("mmap artifact failed validation: {e}")));
+            if let Some(path) = &mmap_out {
+                write_or_fail(path, &json, "mmap artifact");
                 eprintln!("[tables] wrote {path} ({entries} entries)");
             }
         }

@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod families;
 mod jsonv;
 pub mod kernels;
+pub mod mmap;
 pub mod phases;
 pub mod serve;
 

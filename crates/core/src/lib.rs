@@ -49,6 +49,7 @@ pub mod error;
 pub mod explain;
 pub mod fallback;
 pub mod io;
+pub mod iov2;
 pub mod oracle;
 pub mod query;
 pub mod reach;

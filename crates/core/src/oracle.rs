@@ -52,16 +52,18 @@
 //! the duration of a lookup or insert, never while computing a row.
 
 use crate::augment::Augmentation;
-use crate::io::{read_snapshot, write_snapshot, Snapshot};
+use crate::io::{snapshot_from_bytes, write_snapshot, Snapshot};
+use crate::iov2::{self, SnapshotV2};
 use crate::query::Preprocessed;
 use crate::{preprocess, Algorithm, AugmentStats};
 use rayon::prelude::*;
 use spsep_graph::semiring::Tropical;
-use spsep_graph::{DiGraph, SpsepError};
+use spsep_graph::{DiGraph, SlabBytes, SpsepError, Store};
 use spsep_pram::{Counter, Metrics};
 use spsep_separator::SepTree;
 use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -255,6 +257,22 @@ impl RowCache {
     }
 }
 
+/// The separator tree of an oracle, possibly still in its serialized
+/// form.
+///
+/// Queries never touch the tree — only re-exporting the oracle as a v1
+/// snapshot does — so an oracle loaded from a `spsep-oracle/v2`
+/// snapshot keeps the tree as the opaque (checksummed) `TREE` section
+/// bytes and decodes it lazily on first use. A semantically corrupt
+/// tree section therefore surfaces as a typed error from
+/// [`Oracle::save`], never as load-time work or a panic.
+enum TreeRepr {
+    /// A decoded, validated tree (freshly prepared or v1-loaded).
+    Decoded(SepTree),
+    /// The undecoded v1 tree section payload out of a v2 snapshot.
+    Encoded(Store<u8>),
+}
+
 /// A query-ready distance oracle over a preprocessed instance.
 ///
 /// Build one with [`Oracle::prepare`] (fresh preprocessing) or
@@ -285,7 +303,7 @@ impl RowCache {
 /// ```
 pub struct Oracle {
     graph: DiGraph<f64>,
-    tree: SepTree,
+    tree: TreeRepr,
     algo: Algorithm,
     pre: Preprocessed<Tropical>,
     /// The sharded row cache. The outer `RwLock` exists only so
@@ -316,7 +334,7 @@ impl Oracle {
         let pre = preprocess::<Tropical>(&graph, &tree, algo, metrics)?;
         Ok(Oracle {
             graph,
-            tree,
+            tree: TreeRepr::Decoded(tree),
             algo,
             pre,
             cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
@@ -336,7 +354,27 @@ impl Oracle {
         let pre = Preprocessed::compile(&graph, &tree, augmentation);
         Oracle {
             graph,
-            tree,
+            tree: TreeRepr::Decoded(tree),
+            algo,
+            pre,
+            cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
+        }
+    }
+
+    /// Wrap a validated zero-copy [`SnapshotV2`] — no compilation at
+    /// all: the compiled query state is borrowed from the snapshot
+    /// buffer, and the tree stays in its serialized form until first
+    /// needed (see [`Oracle::save`]).
+    pub fn from_snapshot_v2(snapshot: SnapshotV2) -> Oracle {
+        let SnapshotV2 {
+            graph,
+            tree_bytes,
+            algo,
+            pre,
+        } = snapshot;
+        Oracle {
+            graph,
+            tree: TreeRepr::Encoded(tree_bytes),
             algo,
             pre,
             cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
@@ -347,7 +385,10 @@ impl Oracle {
     ///
     /// # Errors
     ///
-    /// [`SpsepError::Io`] if writing to `out` fails.
+    /// [`SpsepError::Io`] if writing to `out` fails;
+    /// [`SpsepError::Parse`] if the oracle was loaded from a v2
+    /// snapshot whose (checksummed but lazily decoded) tree section
+    /// turns out to be semantically corrupt.
     pub fn save<W: Write>(&self, out: &mut W) -> Result<(), SpsepError> {
         let mut span = spsep_trace::span!("oracle.save", n = self.graph.n());
         let augmentation = Augmentation::<Tropical> {
@@ -356,25 +397,120 @@ impl Oracle {
         };
         let bytes_before = self.graph.m() + augmentation.eplus.len();
         span.add_ops(bytes_before as u64);
-        write_snapshot(&self.graph, &self.tree, self.algo, &augmentation, out)
+        match &self.tree {
+            TreeRepr::Decoded(tree) => {
+                write_snapshot(&self.graph, tree, self.algo, &augmentation, out)
+            }
+            TreeRepr::Encoded(bytes) => {
+                let tree = spsep_separator::io::tree_from_bytes(bytes)?;
+                write_snapshot(&self.graph, &tree, self.algo, &augmentation, out)
+            }
+        }
+    }
+
+    /// Persist this oracle as a zero-copy `spsep-oracle/v2` snapshot
+    /// (see [`crate::iov2`]): the compiled query state is laid out as
+    /// aligned slabs that [`Oracle::load_path`] can borrow straight out
+    /// of a memory mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsepError::Io`] if writing to `out` fails;
+    /// [`SpsepError::Parse`] on a big-endian host (the format is
+    /// little-endian only).
+    pub fn save_v2<W: Write>(&self, out: &mut W) -> Result<(), SpsepError> {
+        let mut span = spsep_trace::span!("oracle.save_v2", n = self.graph.n());
+        span.add_ops((self.graph.m() + self.pre.eplus().len()) as u64);
+        let bytes = match &self.tree {
+            TreeRepr::Decoded(tree) => {
+                let tb = spsep_separator::io::tree_to_bytes(tree);
+                iov2::snapshot_v2_to_bytes(&self.graph, &tb, self.algo, &self.pre)?
+            }
+            TreeRepr::Encoded(tb) => {
+                iov2::snapshot_v2_to_bytes(&self.graph, tb, self.algo, &self.pre)?
+            }
+        };
+        out.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Rehydrate an oracle from an owned byte buffer, dispatching on
+    /// the sniffed format version (v1 decodes and recompiles; v2
+    /// borrows the compiled state out of an aligned copy of the bytes).
+    fn from_bytes(bytes: Vec<u8>) -> Result<Oracle, SpsepError> {
+        if iov2::sniff_version(&bytes) == Some(iov2::SNAPSHOT_VERSION_V2) {
+            let snapshot = {
+                let _span = spsep_trace::span!("oracle.load_v2");
+                iov2::snapshot_v2_from_slab(Arc::new(SlabBytes::from_vec(bytes)))?
+            };
+            return Ok(Oracle::from_snapshot_v2(snapshot));
+        }
+        let snapshot = {
+            let _span = spsep_trace::span!("oracle.load");
+            snapshot_from_bytes(&bytes)?
+        };
+        Ok(Oracle::from_snapshot(snapshot))
     }
 
     /// Load an oracle from a snapshot previously written by
-    /// [`Oracle::save`] (or `spsep-cli prepare`).
+    /// [`Oracle::save`] or [`Oracle::save_v2`] (or `spsep-cli
+    /// prepare`). The format version is sniffed from the header, so one
+    /// entry point serves both generations.
     ///
     /// # Errors
     ///
     /// [`SpsepError::Io`] on read failure; [`SpsepError::Parse`] on any
-    /// corruption (bad magic, version skew, checksum mismatch,
-    /// truncation, semantic damage caught by the section parsers);
-    /// [`SpsepError::InvalidDecomposition`] if the graph and tree do not
-    /// form a valid instance.
-    pub fn load<R: Read>(input: R) -> Result<Oracle, SpsepError> {
-        let snapshot = {
-            let _span = spsep_trace::span!("oracle.load");
-            read_snapshot(input)?
-        };
-        Ok(Oracle::from_snapshot(snapshot))
+    /// corruption (bad magic, version skew — including v1 bytes
+    /// relabelled as v2 and vice versa — checksum mismatch, truncation,
+    /// semantic damage caught by the section parsers);
+    /// [`SpsepError::InvalidDecomposition`] if a v1 graph and tree do
+    /// not form a valid instance.
+    pub fn load<R: Read>(mut input: R) -> Result<Oracle, SpsepError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Oracle::from_bytes(bytes)
+    }
+
+    /// Load an oracle from a snapshot file, **memory-mapping** v2
+    /// snapshots instead of reading them: the CSR arrays, relaxation
+    /// buckets, and edge slabs are borrowed from the `MAP_SHARED`
+    /// read-only mapping, so load time is dominated by the checksum +
+    /// validation sweep (no per-edge decode, no copies) and every
+    /// process serving the same file shares one physical page-cache
+    /// copy. v1 snapshots fall back to the streaming [`Oracle::load`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Oracle::load`], plus [`SpsepError::Io`] if the file cannot
+    /// be opened or mapped.
+    pub fn load_path(path: &Path) -> Result<Oracle, SpsepError> {
+        let mut file = std::fs::File::open(path)?;
+        let mut head = [0u8; 12];
+        let mut filled = 0usize;
+        while filled < head.len() {
+            match file.read(&mut head[filled..])? {
+                0 => break,
+                k => filled += k,
+            }
+        }
+        if iov2::sniff_version(&head[..filled]) == Some(iov2::SNAPSHOT_VERSION_V2) {
+            let snapshot = {
+                let _span = spsep_trace::span!("oracle.load_v2_mmap");
+                let slab = SlabBytes::map_file(&file)?;
+                iov2::snapshot_v2_from_slab(Arc::new(slab))?
+            };
+            return Ok(Oracle::from_snapshot_v2(snapshot));
+        }
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(0))?;
+        Oracle::load(std::io::BufReader::new(file))
+    }
+
+    /// Whether this oracle's arrays are borrowed from a snapshot slab
+    /// (v2 load) rather than owned (fresh prepare / v1 load). Purely
+    /// observational — answers are identical either way.
+    pub fn is_slab_backed(&self) -> bool {
+        matches!(self.pre.aug_edges, Store::Slab(_))
     }
 
     /// Replace the table cache with an empty one of capacity `capacity`
@@ -602,6 +738,97 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "source {s}");
             }
         }
+    }
+
+    #[test]
+    fn save_v2_load_roundtrip_is_bit_identical_and_slab_backed() {
+        let oracle = grid_oracle([7, 6], 29);
+        let metrics = Metrics::new();
+        let mut v2 = Vec::new();
+        oracle.save_v2(&mut v2).unwrap();
+        let served = Oracle::load(v2.as_slice()).unwrap();
+        assert!(served.is_slab_backed());
+        assert!(!oracle.is_slab_backed());
+        assert_eq!(served.n(), oracle.n());
+        assert_eq!(served.m(), oracle.m());
+        assert_eq!(served.algo(), oracle.algo());
+        assert_eq!(served.stats().eplus_edges, oracle.stats().eplus_edges);
+        assert_eq!(served.arcs_per_query(), oracle.arcs_per_query());
+        for s in 0..oracle.n() {
+            let a = oracle.source_table(s, &metrics).unwrap();
+            let b = served.source_table(s, &metrics).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "source {s}");
+            }
+        }
+        // A v2-loaded oracle can re-export both formats (the lazily
+        // decoded tree round-trips through the opaque TREE section).
+        let mut v1 = Vec::new();
+        served.save(&mut v1).unwrap();
+        let via_v1 = Oracle::load(v1.as_slice()).unwrap();
+        let mut v2_again = Vec::new();
+        served.save_v2(&mut v2_again).unwrap();
+        assert_eq!(v2, v2_again, "v2 snapshots are canonical bytes");
+        let d1 = via_v1.distance(0, 17, &metrics).unwrap();
+        let d2 = served.distance(0, 17, &metrics).unwrap();
+        assert_eq!(d1.to_bits(), d2.to_bits());
+    }
+
+    #[test]
+    fn load_path_memory_maps_v2_and_streams_v1() {
+        let oracle = grid_oracle([6, 6], 30);
+        let metrics = Metrics::new();
+        let dir = std::env::temp_dir().join(format!("spsep-oracle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1_path = dir.join("snap.v1");
+        let v2_path = dir.join("snap.v2");
+        oracle.save(&mut std::fs::File::create(&v1_path).unwrap()).unwrap();
+        oracle.save_v2(&mut std::fs::File::create(&v2_path).unwrap()).unwrap();
+        let from_v1 = Oracle::load_path(&v1_path).unwrap();
+        let from_v2 = Oracle::load_path(&v2_path).unwrap();
+        assert!(!from_v1.is_slab_backed());
+        #[cfg(unix)]
+        assert!(from_v2.is_slab_backed());
+        for s in [0usize, 7, 35] {
+            let a = from_v1.source_table(s, &metrics).unwrap();
+            let b = from_v2.source_table(s, &metrics).unwrap();
+            let c = oracle.source_table(s, &metrics).unwrap();
+            for ((x, y), z) in a.iter().zip(b.iter()).zip(c.iter()) {
+                assert_eq!(x.to_bits(), z.to_bits(), "v1 source {s}");
+                assert_eq!(y.to_bits(), z.to_bits(), "v2 source {s}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_skew_both_directions_is_a_typed_error() {
+        let oracle = grid_oracle([5, 5], 31);
+        let mut v1 = Vec::new();
+        oracle.save(&mut v1).unwrap();
+        let mut v2 = Vec::new();
+        oracle.save_v2(&mut v2).unwrap();
+        // v1 bytes relabelled as v2: the v2 parser rejects them.
+        let mut skew = v1.clone();
+        skew[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let Err(err) = Oracle::load(skew.as_slice()) else {
+            panic!("v1 bytes relabelled as v2 must fail")
+        };
+        assert!(matches!(err, SpsepError::Parse { .. }), "{err}");
+        // v2 bytes relabelled as v1: the v1 parser rejects them.
+        let mut skew = v2.clone();
+        skew[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let Err(err) = Oracle::load(skew.as_slice()) else {
+            panic!("v2 bytes relabelled as v1 must fail")
+        };
+        assert!(matches!(err, SpsepError::Parse { .. }), "{err}");
+        // An unknown future version is rejected with its number named.
+        let mut skew = v2;
+        skew[8..12].copy_from_slice(&7u32.to_le_bytes());
+        let Err(err) = Oracle::load(skew.as_slice()) else {
+            panic!("unknown version must fail")
+        };
+        assert!(err.to_string().contains('7'), "{err}");
     }
 
     #[test]

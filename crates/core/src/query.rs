@@ -5,9 +5,9 @@ use crate::augment::{AugmentStats, Augmentation};
 use crate::schedule::Schedule;
 use crate::AbsorbingCycle;
 use rayon::prelude::*;
-use spsep_graph::{DiGraph, Edge, Semiring};
+use spsep_graph::{DiGraph, Edge, Semiring, Store};
 use spsep_pram::Metrics;
-use spsep_separator::SepTree;
+use spsep_separator::{separator_locality_order, SepTree};
 
 /// Per-query statistics.
 #[derive(Copy, Clone, Debug, Default)]
@@ -22,20 +22,29 @@ pub struct QueryStats {
 /// set `E⁺`, the per-vertex levels, and the compiled Section 3.2 phase
 /// schedule.
 pub struct Preprocessed<S: Semiring> {
-    n: usize,
+    pub(crate) n: usize,
     /// `E ∪ E⁺`: base edges first, shortcuts after.
-    aug_edges: Vec<Edge<S::W>>,
-    base_m: usize,
-    levels: Vec<u32>,
-    schedule: Schedule<S>,
-    stats: AugmentStats,
+    pub(crate) aug_edges: Store<Edge<S::W>>,
+    pub(crate) base_m: usize,
+    pub(crate) levels: Store<u32>,
+    /// Separator-locality rank (`rank[v]` = memory position of `v`);
+    /// the bucket layout key of the compiled schedule.
+    pub(crate) order_rank: Store<u32>,
+    pub(crate) schedule: Schedule<S>,
+    pub(crate) stats: AugmentStats,
 }
 
 impl<S: Semiring> Preprocessed<S> {
     /// Compile the query structures from a finished augmentation.
+    ///
+    /// Derives the separator-locality [`spsep_graph::NodeOrder`] from
+    /// `tree` and lays the schedule's relaxation buckets out in that
+    /// order (tree locality → memory locality); answers are unaffected
+    /// by the layout (see [`crate::schedule::Bucket`]).
     pub fn compile(g: &DiGraph<S::W>, tree: &SepTree, augmentation: Augmentation<S>) -> Self {
         let Augmentation { eplus, stats } = augmentation;
         let levels = tree.vertex_levels().to_vec();
+        let order = separator_locality_order(tree);
         let schedule = Schedule::<S>::compile(
             g.n(),
             g.edges(),
@@ -43,15 +52,17 @@ impl<S: Semiring> Preprocessed<S> {
             &levels,
             stats.d_g,
             stats.leaf_bound,
+            order.ranks(),
         );
         let mut aug_edges = g.edges().to_vec();
         let base_m = aug_edges.len();
         aug_edges.extend(eplus);
         Preprocessed {
             n: g.n(),
-            aug_edges,
+            aug_edges: aug_edges.into(),
             base_m,
-            levels,
+            levels: levels.into(),
+            order_rank: order.ranks().to_vec().into(),
             schedule,
             stats,
         }
@@ -80,6 +91,12 @@ impl<S: Semiring> Preprocessed<S> {
     /// `level(v)` table ([`spsep_separator::UNDEFINED_LEVEL`] = ∞).
     pub fn levels(&self) -> &[u32] {
         &self.levels
+    }
+
+    /// The separator-locality rank array (`rank[v]` = memory position
+    /// of `v` in the bucket layout).
+    pub fn order_rank(&self) -> &[u32] {
+        &self.order_rank
     }
 
     /// Number of original edges (`E`); augmented edge ids `≥` this are
@@ -157,7 +174,7 @@ impl<S: Semiring> Preprocessed<S> {
         dist[source] = S::one();
         for round in 0..=max_rounds {
             let mut changed = false;
-            for e in &self.aug_edges {
+            for e in self.aug_edges.iter() {
                 let du = dist[e.from as usize];
                 if S::is_zero(du) {
                     continue;

@@ -30,25 +30,81 @@
 //! reduces each target group independently. Work per source is
 //! `O(l·|E| + |E ∪ E⁺|)` — the bound of Section 3.2.
 
-use spsep_graph::{Edge, Semiring};
+use spsep_graph::slab::Pod;
+use spsep_graph::{Edge, Semiring, Store};
 use spsep_pram::{Counter, Metrics};
 
+/// One per-target reduction group: arcs
+/// `arcs[start..end]` all enter `target`.
+///
+/// `#[repr(C)]` with three `u32` fields (size 12, no padding) so a
+/// bucket's group array can be borrowed straight out of a
+/// `spsep-oracle/v2` snapshot slab.
+#[repr(C)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Target vertex of every arc in the group.
+    pub target: u32,
+    /// First arc index (into the bucket's arc array).
+    pub start: u32,
+    /// One past the last arc index.
+    pub end: u32,
+}
+
+// SAFETY: #[repr(C)] { u32, u32, u32 } — size 12, align 4, no padding;
+// any bit pattern is a valid (if semantically wrong) value. Semantic
+// validation happens in `crate::iov2`.
+unsafe impl Pod for Group {}
+
+/// One relaxation arc: `source_slot` indexes the bucket's source list,
+/// `edge_id` the augmented edge list (for parent tracking), `w` the
+/// weight.
+///
+/// `#[repr(C)]`: for `W = f64` the layout is offsets 0/4/8, size 16,
+/// align 8, no padding — snapshot-borrowable like [`Group`].
+#[repr(C)]
+#[derive(Copy, Clone, Debug)]
+pub struct ArcRec<W> {
+    /// Index into the bucket's distinct-source list.
+    pub slot: u32,
+    /// Augmented edge id (`E` then `E⁺`).
+    pub id: u32,
+    /// Arc weight.
+    pub w: W,
+}
+
+// SAFETY: #[repr(C)] { u32, u32, f64 } — offsets 0, 4, 8; size 16,
+// align 8, no padding; all bit patterns valid (NaN weights are caught
+// by semantic validation, not layout).
+unsafe impl Pod for ArcRec<f64> {}
+
 /// One scannable edge class, grouped by target vertex.
+///
+/// Storage is [`Store`]-backed: owned when compiled in-process, a
+/// borrowed snapshot slab when reconstituted from `spsep-oracle/v2`.
 #[derive(Clone, Debug)]
-pub struct Bucket<W> {
-    /// Distinct source vertices of this bucket's arcs.
-    sources: Vec<u32>,
-    /// `(target, arc_start, arc_end)` — arcs grouped per target.
-    groups: Vec<(u32, u32, u32)>,
-    /// `(source_slot, edge_id, weight)`; `source_slot` indexes `sources`,
-    /// `edge_id` indexes the augmented edge list (for parent tracking).
-    arcs: Vec<(u32, u32, W)>,
+pub struct Bucket<W: Copy> {
+    /// Distinct source vertices of this bucket's arcs (sorted).
+    pub(crate) sources: Store<u32>,
+    /// Arcs grouped per target, targets in separator-rank order.
+    pub(crate) groups: Store<Group>,
+    /// The arcs; `groups` partitions this array.
+    pub(crate) arcs: Store<ArcRec<W>>,
 }
 
 impl<W: Copy> Bucket<W> {
     /// Build a bucket from `(from, to, edge_id, w)` arcs.
-    fn build(mut raw: Vec<(u32, u32, u32, W)>) -> Bucket<W> {
-        raw.sort_unstable_by_key(|&(f, t, _, _)| (t, f));
+    ///
+    /// `rank` is the separator-locality [`spsep_graph::NodeOrder`] rank
+    /// array: target groups are laid out (and hence processed) in rank
+    /// order, so one phase walks memory in separator-tree order instead
+    /// of input-id order. The combine order *within* a target group is
+    /// `(from, edge id)` — independent of `rank` — so per-target
+    /// candidate sequences, and therefore answers and parent pointers,
+    /// are identical for every choice of order (the order is purely a
+    /// layout decision).
+    fn build(mut raw: Vec<(u32, u32, u32, W)>, rank: &[u32]) -> Bucket<W> {
+        raw.sort_unstable_by_key(|&(f, t, id, _)| (rank[t as usize], f, id));
         let mut sources: Vec<u32> = raw.iter().map(|&(f, _, _, _)| f).collect();
         sources.sort_unstable();
         sources.dedup();
@@ -59,21 +115,29 @@ impl<W: Copy> Bucket<W> {
                 as u32
         };
         let mut groups = Vec::new();
-        let mut arcs = Vec::with_capacity(raw.len());
+        let mut arcs: Vec<ArcRec<W>> = Vec::with_capacity(raw.len());
         let mut i = 0;
         while i < raw.len() {
             let target = raw[i].1;
             let start = arcs.len() as u32;
             while i < raw.len() && raw[i].1 == target {
-                arcs.push((slot_of(raw[i].0), raw[i].2, raw[i].3));
+                arcs.push(ArcRec {
+                    slot: slot_of(raw[i].0),
+                    id: raw[i].2,
+                    w: raw[i].3,
+                });
                 i += 1;
             }
-            groups.push((target, start, arcs.len() as u32));
+            groups.push(Group {
+                target,
+                start,
+                end: arcs.len() as u32,
+            });
         }
         Bucket {
-            sources,
-            groups,
-            arcs,
+            sources: sources.into(),
+            groups: groups.into(),
+            arcs: arcs.into(),
         }
     }
 
@@ -86,17 +150,32 @@ impl<W: Copy> Bucket<W> {
     pub fn is_empty(&self) -> bool {
         self.arcs.is_empty()
     }
+
+    /// The distinct source vertices (sorted by id).
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// The per-target groups, in separator-rank order.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// The arc array partitioned by [`Bucket::groups`].
+    pub fn arcs(&self) -> &[ArcRec<W>] {
+        &self.arcs
+    }
 }
 
 /// The compiled phase schedule over `G⁺`.
 #[derive(Clone, Debug)]
 pub struct Schedule<S: Semiring> {
-    n: usize,
-    buckets: Vec<Bucket<S::W>>,
+    pub(crate) n: usize,
+    pub(crate) buckets: Vec<Bucket<S::W>>,
     /// Bucket index per phase, in execution order.
-    sequence: Vec<u32>,
-    max_sources: usize,
-    total_phases: usize,
+    pub(crate) sequence: Store<u32>,
+    pub(crate) max_sources: usize,
+    pub(crate) total_phases: usize,
 }
 
 /// Classify an augmented edge by the level relation of its endpoints.
@@ -117,7 +196,11 @@ fn classify(l1: u32, l2: u32, d_g: u32) -> Option<usize> {
 
 impl<S: Semiring> Schedule<S> {
     /// Compile the schedule from the original edges, the shortcut set, the
-    /// per-vertex levels, the tree height `d_g`, and the leaf bound `l`.
+    /// per-vertex levels, the tree height `d_g`, the leaf bound `l`, and a
+    /// vertex rank array (`rank[v]` = memory-locality position of `v`,
+    /// typically `spsep_separator::separator_locality_order`; pass the
+    /// identity to keep input order). The rank only affects bucket
+    /// layout, never answers — see [`Bucket`].
     pub fn compile(
         n: usize,
         base: &[Edge<S::W>],
@@ -125,7 +208,9 @@ impl<S: Semiring> Schedule<S> {
         levels: &[u32],
         d_g: u32,
         l: usize,
+        rank: &[u32],
     ) -> Schedule<S> {
+        debug_assert_eq!(rank.len(), n);
         // Raw arcs per level bucket (3 per level) + the E bucket at the end.
         // Edge ids: base edges are 0..|E|, shortcuts follow.
         let level_buckets = 3 * (d_g as usize + 1);
@@ -146,7 +231,7 @@ impl<S: Semiring> Schedule<S> {
             };
             raw[b].push((e.from, e.to, id, e.w));
         }
-        let buckets: Vec<Bucket<S::W>> = raw.into_iter().map(Bucket::build).collect();
+        let buckets: Vec<Bucket<S::W>> = raw.into_iter().map(|r| Bucket::build(r, rank)).collect();
 
         // Phase sequence.
         let mut sequence: Vec<u32> = Vec::new();
@@ -186,10 +271,28 @@ impl<S: Semiring> Schedule<S> {
         Schedule {
             n,
             buckets,
-            sequence,
+            sequence: sequence.into(),
             max_sources,
             total_phases,
         }
+    }
+
+    /// The compiled buckets (level classes plus the trailing `E`
+    /// bucket), exposed for serialization and inspection.
+    pub fn buckets(&self) -> &[Bucket<S::W>] {
+        &self.buckets
+    }
+
+    /// The phase sequence (bucket index per phase, empty buckets
+    /// elided).
+    pub fn sequence(&self) -> &[u32] {
+        &self.sequence
+    }
+
+    /// Largest distinct-source count over all buckets (the scratch
+    /// gather width).
+    pub fn max_sources(&self) -> usize {
+        self.max_sources
     }
 
     /// Number of vertices.
@@ -229,19 +332,19 @@ impl<S: Semiring> Schedule<S> {
         assert_eq!(dist.len(), self.n);
         let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
         let mut relaxations = 0u64;
-        for &bi in &self.sequence {
+        for &bi in self.sequence.iter() {
             let bucket = &self.buckets[bi as usize];
             for (slot, &src) in bucket.sources.iter().enumerate() {
                 scratch[slot] = dist[src as usize];
             }
-            for &(target, a0, a1) in &bucket.groups {
+            for &Group { target, start, end } in bucket.groups.iter() {
                 let mut best = dist[target as usize];
-                for &(slot, _id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
-                    let sv = scratch[slot as usize];
+                for a in &bucket.arcs[start as usize..end as usize] {
+                    let sv = scratch[a.slot as usize];
                     if S::is_zero(sv) {
                         continue;
                     }
-                    best = S::combine(best, S::extend(sv, w));
+                    best = S::combine(best, S::extend(sv, a.w));
                 }
                 dist[target as usize] = best;
             }
@@ -259,24 +362,24 @@ impl<S: Semiring> Schedule<S> {
         let mut parent = vec![u32::MAX; self.n];
         dist[source] = S::one();
         let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
-        for &bi in &self.sequence {
+        for &bi in self.sequence.iter() {
             let bucket = &self.buckets[bi as usize];
             for (slot, &src) in bucket.sources.iter().enumerate() {
                 scratch[slot] = dist[src as usize];
             }
-            for &(target, a0, a1) in &bucket.groups {
+            for &Group { target, start, end } in bucket.groups.iter() {
                 let mut best = dist[target as usize];
                 let mut best_edge = u32::MAX;
-                for &(slot, id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
-                    let sv = scratch[slot as usize];
+                for a in &bucket.arcs[start as usize..end as usize] {
+                    let sv = scratch[a.slot as usize];
                     if S::is_zero(sv) {
                         continue;
                     }
-                    let cand = S::extend(sv, w);
+                    let cand = S::extend(sv, a.w);
                     let merged = S::combine(best, cand);
                     if merged != best {
                         best = merged;
-                        best_edge = id;
+                        best_edge = a.id;
                     }
                 }
                 if best_edge != u32::MAX {
@@ -304,19 +407,19 @@ impl<S: Semiring> Schedule<S> {
             for (slot, &src) in bucket.sources.iter().enumerate() {
                 scratch[slot] = dist[src as usize];
             }
-            for &(target, a0, a1) in &bucket.groups {
+            for &Group { target, start, end } in bucket.groups.iter() {
                 let mut best = dist[target as usize];
                 let mut best_edge = u32::MAX;
-                for &(slot, id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
-                    let sv = scratch[slot as usize];
+                for a in &bucket.arcs[start as usize..end as usize] {
+                    let sv = scratch[a.slot as usize];
                     if S::is_zero(sv) {
                         continue;
                     }
-                    let cand = S::extend(sv, w);
+                    let cand = S::extend(sv, a.w);
                     let merged = S::combine(best, cand);
                     if merged != best {
                         best = merged;
-                        best_edge = id;
+                        best_edge = a.id;
                     }
                 }
                 if best_edge != u32::MAX {
@@ -337,7 +440,7 @@ impl<S: Semiring> Schedule<S> {
         let mut dist = vec![S::zero(); self.n];
         dist[source] = S::one();
         let mut scratch: Vec<S::W> = vec![S::zero(); self.max_sources];
-        for &bi in &self.sequence {
+        for &bi in self.sequence.iter() {
             let bucket = &self.buckets[bi as usize];
             metrics.phase(bucket.groups.len().max(1));
             metrics.work(Counter::Relaxation, bucket.len() as u64);
@@ -351,16 +454,17 @@ impl<S: Semiring> Schedule<S> {
             // Reduce per target (exclusive-write: targets are distinct).
             let updates: Vec<(u32, S::W)> = bucket
                 .groups
+                .as_slice()
                 .par_iter()
-                .filter_map(|&(target, a0, a1)| {
+                .filter_map(|&Group { target, start, end }| {
                     let mut best = dist[target as usize];
                     let mut any = false;
-                    for &(slot, _id, w) in &bucket.arcs[a0 as usize..a1 as usize] {
-                        let sv = scratch[slot as usize];
+                    for a in &bucket.arcs[start as usize..end as usize] {
+                        let sv = scratch[a.slot as usize];
                         if S::is_zero(sv) {
                             continue;
                         }
-                        let cand = S::extend(sv, w);
+                        let cand = S::extend(sv, a.w);
                         let merged = S::combine(best, cand);
                         if merged != best {
                             best = merged;
@@ -383,17 +487,58 @@ mod tests {
     use super::*;
     use spsep_graph::semiring::Tropical;
 
+    fn idrank(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
     #[test]
     fn bucket_groups_by_target() {
-        let b = Bucket::build(vec![
-            (0u32, 2u32, 0u32, 1.0f64),
-            (1, 2, 1, 2.0),
-            (0, 3, 2, 4.0),
-            (1, 3, 3, 0.5),
-        ]);
-        assert_eq!(b.sources, vec![0, 1]);
-        assert_eq!(b.groups.len(), 2);
+        let b = Bucket::build(
+            vec![
+                (0u32, 2u32, 0u32, 1.0f64),
+                (1, 2, 1, 2.0),
+                (0, 3, 2, 4.0),
+                (1, 3, 3, 0.5),
+            ],
+            &idrank(4),
+        );
+        assert_eq!(b.sources(), &[0, 1]);
+        assert_eq!(b.groups().len(), 2);
         assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn bucket_rank_reorders_groups_but_not_answers() {
+        let raw = vec![
+            (0u32, 1u32, 0u32, 1.0f64),
+            (0, 2, 1, 2.0),
+            (1, 2, 2, 0.5),
+        ];
+        // Identity rank: targets in id order 1, 2.
+        let a = Bucket::build(raw.clone(), &idrank(3));
+        let ta: Vec<u32> = a.groups().iter().map(|g| g.target).collect();
+        assert_eq!(ta, vec![1, 2]);
+        // Reversed rank: target 2 first.
+        let b = Bucket::build(raw, &[2, 1, 0]);
+        let tb: Vec<u32> = b.groups().iter().map(|g| g.target).collect();
+        assert_eq!(tb, vec![2, 1]);
+        // Per-target arc order (by from, then id) is identical.
+        for g in a.groups() {
+            let gb = b
+                .groups()
+                .iter()
+                .find(|h| h.target == g.target)
+                .expect("same targets");
+            let arcs_a: Vec<(u32, u32)> = a.arcs()[g.start as usize..g.end as usize]
+                .iter()
+                .map(|r| (a.sources()[r.slot as usize], r.id))
+                .collect();
+            let arcs_b: Vec<(u32, u32)> = b.arcs()[gb.start as usize..gb.end as usize]
+                .iter()
+                .map(|r| (b.sources()[r.slot as usize], r.id))
+                .collect();
+            assert_eq!(arcs_a, arcs_b);
+        }
     }
 
     #[test]
@@ -415,7 +560,7 @@ mod tests {
             Edge::new(1, 2, 2.0),
         ];
         let levels = vec![0u32, 0, 0];
-        let sched = Schedule::<Tropical>::compile(3, &base, &[], &levels, 0, 2);
+        let sched = Schedule::<Tropical>::compile(3, &base, &[], &levels, 0, 2, &idrank(3));
         let (dist, relax) = sched.run_seq(0);
         assert_eq!(dist, vec![0.0, 1.0, 3.0]);
         assert!(relax > 0);
@@ -429,7 +574,7 @@ mod tests {
             Edge::new(0, 2, 10.0),
         ];
         let levels = vec![0u32, 0, 0];
-        let sched = Schedule::<Tropical>::compile(3, &base, &[], &levels, 0, 3);
+        let sched = Schedule::<Tropical>::compile(3, &base, &[], &levels, 0, 3, &idrank(3));
         let (d0, _) = sched.run_seq(0);
         let (d1, parents) = sched.run_seq_parents(0);
         let (d2, p2, phase_of, bucket_of) = sched.run_seq_trace(0);
@@ -456,10 +601,10 @@ mod tests {
             Edge::new(1, 0, 5.0),              // 0→1: Up(0)
         ];
         let levels = vec![1u32, 0];
-        let sched = Schedule::<Tropical>::compile(2, &base, &eplus, &levels, 1, 1);
+        let sched = Schedule::<Tropical>::compile(2, &base, &eplus, &levels, 1, 1, &idrank(2));
         assert_eq!(sched.total_phases(), 2 + 4 + 1);
         // Compiled sequence drops empty buckets; check relative order:
         // E(=6), Down(1)(=4), Up(0)(=2), E(=6).
-        assert_eq!(sched.sequence, vec![6, 4, 2, 6]);
+        assert_eq!(sched.sequence(), &[6, 4, 2, 6]);
     }
 }

@@ -21,11 +21,11 @@ fn distances_match_dijkstra_on_grid() {
     for s in 0..g.n() {
         let (dist, _) = pre.distances_seq(s);
         let truth = dijkstra(&g, s);
-        for v in 0..g.n() {
+        for (v, &d) in dist.iter().enumerate() {
             assert!(
-                (dist[v] - truth.dist[v]).abs() < 1e-6,
+                (d - truth.dist[v]).abs() < 1e-6,
                 "source {s} vertex {v}: {} vs {}",
-                dist[v],
+                d,
                 truth.dist[v]
             );
         }
@@ -43,8 +43,8 @@ fn negative_weights_and_cycles() {
     for s in [0usize, 20, 35] {
         let (dist, _) = pre.distances_seq(s);
         let truth = bellman_ford(&skew, s).unwrap();
-        for v in 0..skew.n() {
-            assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+        for (v, &d) in dist.iter().enumerate() {
+            assert!((d - truth.dist[v]).abs() < 1e-6, "vertex {v}");
         }
     }
     // Plant a negative cycle → must be detected.
@@ -108,8 +108,8 @@ fn other_families() {
     let pre = preprocess::<Tropical>(&t, &tree, Algorithm::SharedDoubling, &metrics).unwrap();
     let truth = dijkstra(&t, 60);
     let (dist, _) = pre.distances_seq(60);
-    for v in 0..t.n() {
-        assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+    for (v, &d) in dist.iter().enumerate() {
+        assert!((d - truth.dist[v]).abs() < 1e-6, "vertex {v}");
     }
 
     let (geo, coords) = generators::geometric(200, 2, 0.15, &mut rng);
@@ -118,11 +118,11 @@ fn other_families() {
     let pre = preprocess::<Tropical>(&geo, &gtree, Algorithm::SharedDoubling, &metrics).unwrap();
     let truth = dijkstra(&geo, 0);
     let (dist, _) = pre.distances_seq(0);
-    for v in 0..geo.n() {
+    for (v, &d) in dist.iter().enumerate() {
         if truth.dist[v].is_finite() {
-            assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+            assert!((d - truth.dist[v]).abs() < 1e-6, "vertex {v}");
         } else {
-            assert!(dist[v].is_infinite());
+            assert!(d.is_infinite(), "vertex {v}");
         }
     }
 }

@@ -26,12 +26,12 @@ fn check_exact(g: &DiGraph<i64>, tree: &SepTree, sources: &[usize]) {
     let bound = 4 * stats.d_g as usize + 2 * stats.leaf_bound + 1;
     for &source in sources {
         let (dist, _) = pre.distances_seq(source);
-        for target in 0..g.n() {
+        for (target, &dt) in dist.iter().enumerate() {
             if target == source {
                 continue;
             }
             let exp = explain::explain(&pre, source, target);
-            if dist[target] == i64::MAX {
+            if dt == i64::MAX {
                 assert!(exp.is_none());
                 continue;
             }
@@ -90,12 +90,12 @@ fn check_float(
     source: usize,
 ) {
     let (dist, _) = pre.distances_seq(source);
-    for target in 0..g.n() {
-        if target == source || dist[target].is_infinite() {
+    for (target, &dt) in dist.iter().enumerate() {
+        if target == source || dt.is_infinite() {
             continue;
         }
         let exp = explain::explain(pre, source, target).expect("reachable");
-        assert!((exp.weight - dist[target]).abs() < 1e-9 * (1.0 + dist[target].abs()));
+        assert!((exp.weight - dt).abs() < 1e-9 * (1.0 + dt.abs()));
         let sum: f64 = exp.hops.iter().map(|h| h.w).sum();
         assert!((sum - exp.weight).abs() < 1e-6 * (1.0 + sum.abs()));
         for pair in exp.hops.windows(2) {

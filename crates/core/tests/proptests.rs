@@ -23,10 +23,7 @@ fn arb_graph() -> impl Strategy<Value = (DiGraph<f64>, u64)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Distances from a random source match Bellman–Ford, on random
     /// digraphs with negative-but-safe weights, via both algorithms.
@@ -47,13 +44,13 @@ proptest! {
             let metrics = Metrics::new();
             let pre = preprocess::<Tropical>(&g, &tree, algo, &metrics).unwrap();
             let (dist, _) = pre.distances_seq(source);
-            for v in 0..g.n() {
+            for (v, &d) in dist.iter().enumerate() {
                 if truth.dist[v].is_infinite() {
-                    prop_assert!(dist[v].is_infinite(), "{algo:?} v={v}");
+                    prop_assert!(d.is_infinite(), "{algo:?} v={v}");
                 } else {
                     prop_assert!(
-                        (dist[v] - truth.dist[v]).abs() < 1e-6 * (1.0 + truth.dist[v].abs()),
-                        "{algo:?} v={v}: {} vs {}", dist[v], truth.dist[v]
+                        (d - truth.dist[v]).abs() < 1e-6 * (1.0 + truth.dist[v].abs()),
+                        "{algo:?} v={v}: {} vs {}", d, truth.dist[v]
                     );
                 }
             }
@@ -122,8 +119,8 @@ proptest! {
         let source = src_sel % n;
         let truth = bellman_ford(&g, source).unwrap();
         let (dist, _) = pre.distances_seq(source);
-        for v in 0..n {
-            prop_assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+        for (v, &d) in dist.iter().enumerate() {
+            prop_assert!((d - truth.dist[v]).abs() < 1e-6, "vertex {v}");
         }
     }
 

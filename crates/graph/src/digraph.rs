@@ -12,7 +12,15 @@
 //! target) referencing edge ids, so both directions cost one indirection
 //! and subgraph extraction is a single pass.
 
+use crate::error::SpsepError;
+use crate::slab::Store;
+
 /// A directed edge with weight `W`.
+///
+/// `#[repr(C)]` so that `Edge<f64>` has a guaranteed padding-free
+/// layout (offsets 0/4/8, size 16) and can be borrowed directly out of
+/// a `spsep-oracle/v2` snapshot slab (see [`crate::slab::Pod`]).
+#[repr(C)]
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Edge<W> {
     /// Source vertex.
@@ -51,18 +59,23 @@ impl<W> Edge<W> {
 /// assert_eq!(g.out_degree(0), 1);
 /// assert_eq!(g.in_edges(2).next().unwrap().from, 1);
 /// ```
+/// All five arrays are [`Store`]s: owned `Vec`s when built with
+/// [`DiGraph::from_edges`], borrowed snapshot slabs when reconstituted
+/// zero-copy from a `spsep-oracle/v2` file via
+/// [`DiGraph::from_csr_parts`]. Every accessor reads them as slices, so
+/// the two cases are indistinguishable to callers.
 #[derive(Clone, Debug)]
 pub struct DiGraph<W: Copy> {
     n: usize,
-    edges: Vec<Edge<W>>,
+    edges: Store<Edge<W>>,
     /// CSR by source: `out_adj[out_off[v]..out_off[v+1]]` are edge ids
     /// leaving `v`.
-    out_off: Vec<u32>,
-    out_adj: Vec<u32>,
+    out_off: Store<u32>,
+    out_adj: Store<u32>,
     /// CSR by target: `in_adj[in_off[v]..in_off[v+1]]` are edge ids
     /// entering `v`.
-    in_off: Vec<u32>,
-    in_adj: Vec<u32>,
+    in_off: Store<u32>,
+    in_adj: Store<u32>,
 }
 
 impl<W: Copy> DiGraph<W> {
@@ -100,12 +113,103 @@ impl<W: Copy> DiGraph<W> {
         }
         DiGraph {
             n,
+            edges: edges.into(),
+            out_off: out_off.into(),
+            out_adj: out_adj.into(),
+            in_off: in_off.into(),
+            in_adj: in_adj.into(),
+        }
+    }
+
+    /// Reconstitute a graph from pre-built CSR arrays (typically
+    /// borrowed snapshot slabs — zero copies). Validates every
+    /// structural invariant with typed errors so that a
+    /// checksum-consistent but semantically hostile snapshot can never
+    /// cause an out-of-bounds access later:
+    ///
+    /// * both offset arrays have length `n + 1`, start at 0, are
+    ///   monotone, and end at `m`;
+    /// * both adjacency arrays have length `m` and hold edge ids `< m`;
+    /// * every endpoint is `< n`;
+    /// * `out_adj`/`in_adj` rows list exactly the edges leaving /
+    ///   entering each vertex (position within a row is not constrained
+    ///   beyond what [`DiGraph::from_edges`] produces: input order).
+    ///
+    /// Cost is one O(n + m) sweep — index arithmetic only, no per-edge
+    /// decoding and no allocation beyond the error path.
+    pub fn from_csr_parts(
+        n: usize,
+        edges: Store<Edge<W>>,
+        out_off: Store<u32>,
+        out_adj: Store<u32>,
+        in_off: Store<u32>,
+        in_adj: Store<u32>,
+    ) -> Result<Self, SpsepError> {
+        let m = edges.len();
+        for (i, e) in edges.iter().enumerate() {
+            if (e.from as usize) >= n || (e.to as usize) >= n {
+                return Err(SpsepError::invalid_edge(
+                    i,
+                    format!("endpoint out of range for {n} vertices"),
+                ));
+            }
+        }
+        validate_csr_index(n, m, &out_off, &out_adj, "out")?;
+        validate_csr_index(n, m, &in_off, &in_adj, "in")?;
+        // Row membership: each out row must reference edges leaving v,
+        // each in row edges entering v. (Cheap field compares; catches
+        // swapped or permuted adjacency sections.)
+        for v in 0..n {
+            for &id in &out_adj[out_off[v] as usize..out_off[v + 1] as usize] {
+                if edges[id as usize].from as usize != v {
+                    return Err(SpsepError::invalid_graph_at(
+                        v as u32,
+                        format!("out-CSR row lists edge {id} which does not leave the vertex"),
+                    ));
+                }
+            }
+            for &id in &in_adj[in_off[v] as usize..in_off[v + 1] as usize] {
+                if edges[id as usize].to as usize != v {
+                    return Err(SpsepError::invalid_graph_at(
+                        v as u32,
+                        format!("in-CSR row lists edge {id} which does not enter the vertex"),
+                    ));
+                }
+            }
+        }
+        Ok(DiGraph {
+            n,
             edges,
             out_off,
             out_adj,
             in_off,
             in_adj,
-        }
+        })
+    }
+
+    /// The out-CSR offset array (`n + 1` entries; rust_road_router's
+    /// `first_out`).
+    #[inline]
+    pub fn first_out(&self) -> &[u32] {
+        &self.out_off
+    }
+
+    /// The out-CSR adjacency array (`m` edge ids, grouped by source).
+    #[inline]
+    pub fn out_adjacency(&self) -> &[u32] {
+        &self.out_adj
+    }
+
+    /// The in-CSR offset array (`n + 1` entries).
+    #[inline]
+    pub fn first_in(&self) -> &[u32] {
+        &self.in_off
+    }
+
+    /// The in-CSR adjacency array (`m` edge ids, grouped by target).
+    #[inline]
+    pub fn in_adjacency(&self) -> &[u32] {
+        &self.in_adj
     }
 
     /// Number of vertices.
@@ -234,7 +338,7 @@ impl<W: Copy> DiGraph<W> {
     /// this form.
     pub fn undirected_skeleton(&self) -> Vec<Vec<u32>> {
         let mut adj = vec![Vec::new(); self.n];
-        for e in &self.edges {
+        for e in self.edges.iter() {
             if e.from != e.to {
                 adj[e.from as usize].push(e.to);
                 adj[e.to as usize].push(e.from);
@@ -246,6 +350,52 @@ impl<W: Copy> DiGraph<W> {
         }
         adj
     }
+}
+
+/// Validate one direction's CSR index: offsets of length `n + 1`,
+/// `0 = off[0] <= … <= off[n] = m`, adjacency of length `m` holding
+/// edge ids `< m`.
+fn validate_csr_index(
+    n: usize,
+    m: usize,
+    off: &[u32],
+    adj: &[u32],
+    dir: &str,
+) -> Result<(), SpsepError> {
+    if off.len() != n + 1 {
+        return Err(SpsepError::invalid_graph(format!(
+            "{dir}-CSR offsets: expected {} entries, found {}",
+            n + 1,
+            off.len()
+        )));
+    }
+    if adj.len() != m {
+        return Err(SpsepError::invalid_graph(format!(
+            "{dir}-CSR adjacency: expected {m} entries, found {}",
+            adj.len()
+        )));
+    }
+    if off.first().copied().unwrap_or(0) != 0 || off.last().copied().unwrap_or(0) as usize != m {
+        return Err(SpsepError::invalid_graph(format!(
+            "{dir}-CSR offsets must start at 0 and end at m = {m}"
+        )));
+    }
+    for w in off.windows(2) {
+        if w[1] < w[0] {
+            return Err(SpsepError::invalid_graph(format!(
+                "{dir}-CSR offsets are not monotone ({} then {})",
+                w[0], w[1]
+            )));
+        }
+    }
+    for &id in adj {
+        if id as usize >= m {
+            return Err(SpsepError::invalid_graph(format!(
+                "{dir}-CSR adjacency references edge {id} but m = {m}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -353,5 +503,92 @@ mod tests {
         let g: DiGraph<f64> = DiGraph::from_edges(0, vec![]);
         assert_eq!(g.n(), 0);
         assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn flat_arrays_describe_the_csr() {
+        let g = diamond();
+        assert_eq!(g.first_out().len(), g.n() + 1);
+        assert_eq!(g.out_adjacency().len(), g.m());
+        assert_eq!(g.first_in().len(), g.n() + 1);
+        assert_eq!(g.in_adjacency().len(), g.m());
+        assert_eq!(*g.first_out().last().unwrap() as usize, g.m());
+        for v in 0..g.n() {
+            assert_eq!(
+                g.out_edge_ids(v),
+                &g.out_adjacency()[g.first_out()[v] as usize..g.first_out()[v + 1] as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrips_and_validates() {
+        let g = diamond();
+        let rebuilt = DiGraph::from_csr_parts(
+            g.n(),
+            g.edges().to_vec().into(),
+            g.first_out().to_vec().into(),
+            g.out_adjacency().to_vec().into(),
+            g.first_in().to_vec().into(),
+            g.in_adjacency().to_vec().into(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.edges(), g.edges());
+        for v in 0..g.n() {
+            assert_eq!(rebuilt.out_edge_ids(v), g.out_edge_ids(v));
+            assert_eq!(rebuilt.in_edge_ids(v), g.in_edge_ids(v));
+        }
+
+        // Each corruption must be a typed error, never a panic.
+        let bad_off = {
+            let mut o = g.first_out().to_vec();
+            o[2] = o[2].wrapping_sub(1);
+            o.swap(1, 3); // break monotonicity
+            o
+        };
+        assert!(DiGraph::from_csr_parts(
+            g.n(),
+            g.edges().to_vec().into(),
+            bad_off.into(),
+            g.out_adjacency().to_vec().into(),
+            g.first_in().to_vec().into(),
+            g.in_adjacency().to_vec().into(),
+        )
+        .is_err());
+
+        let mut bad_adj = g.out_adjacency().to_vec();
+        bad_adj[0] = 99; // out of range edge id
+        assert!(DiGraph::from_csr_parts(
+            g.n(),
+            g.edges().to_vec().into(),
+            g.first_out().to_vec().into(),
+            bad_adj.into(),
+            g.first_in().to_vec().into(),
+            g.in_adjacency().to_vec().into(),
+        )
+        .is_err());
+
+        // Swapped in/out adjacency is caught by row membership.
+        assert!(DiGraph::from_csr_parts(
+            g.n(),
+            g.edges().to_vec().into(),
+            g.first_in().to_vec().into(),
+            g.in_adjacency().to_vec().into(),
+            g.first_out().to_vec().into(),
+            g.out_adjacency().to_vec().into(),
+        )
+        .is_err());
+
+        let mut bad_edges = g.edges().to_vec();
+        bad_edges[1].to = 77;
+        assert!(DiGraph::from_csr_parts(
+            g.n(),
+            bad_edges.into(),
+            g.first_out().to_vec().into(),
+            g.out_adjacency().to_vec().into(),
+            g.first_in().to_vec().into(),
+            g.in_adjacency().to_vec().into(),
+        )
+        .is_err());
     }
 }

@@ -24,6 +24,10 @@
 // expects are confined to #[cfg(test)] code (internal invariants use
 // let-else + unreachable!, which documents *why* they cannot fire).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// All unsafe lives in `slab` (the mmap/zero-copy substrate); every
+// unsafe operation there must sit in an explicit block with a SAFETY
+// comment, even inside unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
 // Every public item must explain itself — the crate is the paper's
 // reference implementation and doubles as its documentation.
 #![warn(missing_docs)]
@@ -35,7 +39,9 @@ pub mod digraph;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod order;
 pub mod semiring;
+pub mod slab;
 pub mod traversal;
 pub mod unionfind;
 
@@ -43,4 +49,6 @@ pub use bitmatrix::BitMatrix;
 pub use dense::SemiMatrix;
 pub use digraph::{DiGraph, Edge};
 pub use error::SpsepError;
+pub use order::NodeOrder;
+pub use slab::{Pod, Slab, SlabBytes, Store};
 pub use semiring::{Boolean, Bottleneck, MaxPlus, Reliability, Semiring, Tropical, TropicalInt};

@@ -1,0 +1,230 @@
+//! Vertex permutations mapping logical locality onto memory locality.
+//!
+//! In the style of rust_road_router's `NodeOrder`, a [`NodeOrder`] is a
+//! bijection between *vertex ids* (the input labelling) and *ranks*
+//! (positions in a preferred processing/storage order). The separator
+//! pipeline derives one from the separator tree
+//! (`spsep_separator::separator_locality_order`): vertices owned by the
+//! same tree node — and tree nodes adjacent in DFS preorder — get
+//! adjacent ranks, so the per-level relaxation buckets of the Section
+//! 3.2 schedule touch memory in near-sequential order instead of
+//! hopping across the id space.
+//!
+//! The order is *advisory*: it changes the order in which independent
+//! per-target groups are laid out and processed, never the combine
+//! order within a target, so query answers stay bit-identical (see
+//! `spsep_core::schedule`).
+
+use crate::digraph::{DiGraph, Edge};
+use crate::error::SpsepError;
+use crate::slab::Store;
+
+/// A bijection between vertex ids and ranks (`rank ∘ node = id`).
+#[derive(Clone, Debug)]
+pub struct NodeOrder {
+    /// `rank[v]` = position of vertex `v` in the order.
+    node_to_rank: Store<u32>,
+    /// `node[r]` = vertex at position `r` (inverse of `node_to_rank`).
+    rank_to_node: Store<u32>,
+}
+
+impl NodeOrder {
+    /// The identity order on `n` vertices.
+    pub fn identity(n: usize) -> NodeOrder {
+        let ids: Vec<u32> = (0..n as u32).collect();
+        NodeOrder {
+            node_to_rank: ids.clone().into(),
+            rank_to_node: ids.into(),
+        }
+    }
+
+    /// Build from `rank[v]` (vertex → position). Fails with a typed
+    /// error unless `rank` is a permutation of `0..len`.
+    pub fn from_rank(rank: Vec<u32>) -> Result<NodeOrder, SpsepError> {
+        let node = invert_permutation(&rank)?;
+        Ok(NodeOrder {
+            node_to_rank: rank.into(),
+            rank_to_node: node.into(),
+        })
+    }
+
+    /// Build from `node[r]` (position → vertex), e.g. a DFS visit
+    /// sequence. Fails with a typed error unless it is a permutation.
+    pub fn from_sequence(node: Vec<u32>) -> Result<NodeOrder, SpsepError> {
+        let rank = invert_permutation(&node)?;
+        Ok(NodeOrder {
+            node_to_rank: rank.into(),
+            rank_to_node: node.into(),
+        })
+    }
+
+    /// Reconstitute from two pre-validated snapshot slabs. Fails when
+    /// the two are not mutually inverse permutations.
+    pub fn from_parts(rank: Store<u32>, node: Store<u32>) -> Result<NodeOrder, SpsepError> {
+        if rank.len() != node.len() {
+            return Err(SpsepError::parse("node order: rank/node length mismatch"));
+        }
+        let n = rank.len();
+        for (v, &r) in rank.iter().enumerate() {
+            let ok = (r as usize) < n && node[r as usize] as usize == v;
+            if !ok {
+                return Err(SpsepError::parse(format!(
+                    "node order: rank[{v}] = {r} is not inverted by the node array"
+                )));
+            }
+        }
+        Ok(NodeOrder {
+            node_to_rank: rank,
+            rank_to_node: node,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.node_to_rank.len()
+    }
+
+    /// Whether the order is over zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.node_to_rank.len() == 0
+    }
+
+    /// Position of vertex `v` in the order.
+    #[inline]
+    pub fn rank(&self, v: u32) -> u32 {
+        self.node_to_rank[v as usize]
+    }
+
+    /// Vertex at position `r`.
+    #[inline]
+    pub fn node(&self, r: u32) -> u32 {
+        self.rank_to_node[r as usize]
+    }
+
+    /// The full `rank[v]` array.
+    #[inline]
+    pub fn ranks(&self) -> &[u32] {
+        &self.node_to_rank
+    }
+
+    /// The full `node[r]` array.
+    #[inline]
+    pub fn nodes(&self) -> &[u32] {
+        &self.rank_to_node
+    }
+
+    /// The inverse order (swaps the roles of rank and node). Applying
+    /// an order and then its inverse is the identity.
+    pub fn inverse(&self) -> NodeOrder {
+        NodeOrder {
+            node_to_rank: self.rank_to_node.clone(),
+            rank_to_node: self.node_to_rank.clone(),
+        }
+    }
+
+    /// Relabel every vertex of `g` by its rank, keeping the edge list
+    /// order (so degree multisets are preserved and
+    /// `permute(inverse(permute(g)))` restores `g` exactly).
+    ///
+    /// # Panics
+    /// Panics if `g.n() != self.len()` (programmer error, not input).
+    pub fn permute_graph<W: Copy>(&self, g: &DiGraph<W>) -> DiGraph<W> {
+        assert_eq!(g.n(), self.len(), "order/graph size mismatch");
+        let edges: Vec<Edge<W>> = g
+            .edges()
+            .iter()
+            .map(|e| Edge {
+                from: self.rank(e.from),
+                to: self.rank(e.to),
+                w: e.w,
+            })
+            .collect();
+        DiGraph::from_edges(g.n(), edges)
+    }
+}
+
+/// Invert a permutation of `0..p.len()`, with typed errors for
+/// out-of-range or duplicate entries.
+fn invert_permutation(p: &[u32]) -> Result<Vec<u32>, SpsepError> {
+    let n = p.len();
+    let mut inv = vec![u32::MAX; n];
+    for (i, &v) in p.iter().enumerate() {
+        if v as usize >= n {
+            return Err(SpsepError::parse(format!(
+                "permutation entry {v} out of range for {n} vertices"
+            )));
+        }
+        if inv[v as usize] != u32::MAX {
+            return Err(SpsepError::parse(format!(
+                "duplicate permutation entry {v}"
+            )));
+        }
+        inv[v as usize] = i as u32;
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_its_own_inverse() {
+        let o = NodeOrder::identity(5);
+        for v in 0..5u32 {
+            assert_eq!(o.rank(v), v);
+            assert_eq!(o.node(v), v);
+        }
+        let inv = o.inverse();
+        for v in 0..5u32 {
+            assert_eq!(inv.rank(v), v);
+        }
+    }
+
+    #[test]
+    fn from_rank_and_sequence_agree() {
+        // rank = [2,0,1] means vertex 0 sits at position 2.
+        let o = NodeOrder::from_rank(vec![2, 0, 1]).unwrap();
+        assert_eq!(o.nodes(), &[1, 2, 0]);
+        let o2 = NodeOrder::from_sequence(vec![1, 2, 0]).unwrap();
+        assert_eq!(o2.ranks(), &[2, 0, 1]);
+        for v in 0..3u32 {
+            assert_eq!(o.node(o.rank(v)), v);
+            assert_eq!(o2.node(o2.rank(v)), v);
+        }
+    }
+
+    #[test]
+    fn invalid_permutations_are_typed_errors() {
+        assert!(NodeOrder::from_rank(vec![0, 3]).is_err()); // out of range
+        assert!(NodeOrder::from_rank(vec![1, 1]).is_err()); // duplicate
+        assert!(NodeOrder::from_sequence(vec![0, 0]).is_err());
+        let r: Store<u32> = vec![0u32, 1].into();
+        let n: Store<u32> = vec![1u32, 0].into();
+        assert!(NodeOrder::from_parts(r, n).is_err()); // not mutually inverse
+    }
+
+    #[test]
+    fn permute_then_inverse_restores_graph() {
+        let g = DiGraph::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 3, 2.0),
+                Edge::new(3, 0, -1.0),
+                Edge::new(2, 2, 0.5),
+            ],
+        );
+        let o = NodeOrder::from_rank(vec![3, 1, 0, 2]).unwrap();
+        let p = o.permute_graph(&g);
+        assert_eq!(p.m(), g.m());
+        // Degree multiset preserved under relabelling.
+        let mut d: Vec<usize> = (0..4).map(|v| g.out_degree(v)).collect();
+        let mut dp: Vec<usize> = (0..4).map(|v| p.out_degree(v)).collect();
+        d.sort_unstable();
+        dp.sort_unstable();
+        assert_eq!(d, dp);
+        let back = o.inverse().permute_graph(&p);
+        assert_eq!(back.edges(), g.edges());
+    }
+}

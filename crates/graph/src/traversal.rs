@@ -248,7 +248,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let g = generators::gnm(60, 150, &mut rng);
         let (comp, k) = tarjan_scc(&g);
-        assert!(k >= 1 && k <= 60);
+        assert!((1..=60).contains(&k));
         // Condensation must be acyclic: every edge satisfies from-comp >= to-comp.
         for e in g.edges() {
             assert!(comp[e.from as usize] >= comp[e.to as usize]);

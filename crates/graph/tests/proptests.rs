@@ -24,7 +24,7 @@ fn naive_bool_multiply(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn bitmatrix_multiply_matches_naive(

@@ -9,7 +9,7 @@ use spsep_planar::{generate_hammock_graph, HammockSP};
 use spsep_pram::Metrics;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
     fn hammock_distances_match_dijkstra(

@@ -38,9 +38,11 @@
 pub mod builders;
 pub mod engine;
 pub mod io;
+pub mod order;
 pub mod planar;
 pub mod tree;
 pub mod treewidth;
 
 pub use engine::{RecursionLimits, Separation, SubProblem};
+pub use order::separator_locality_order;
 pub use tree::{NodeId, SepNode, SepTree, UNDEFINED_LEVEL};

@@ -1,0 +1,97 @@
+//! Deriving a [`NodeOrder`] from a separator tree: tree locality
+//! becomes memory locality.
+//!
+//! The Section 3.2 relaxation schedule touches distance rows grouped by
+//! the *tree position* of each target: all separator vertices of a node
+//! `t` are relaxed in the same phase, and sibling subtrees are
+//! processed independently. With input vertex ids, those groups are
+//! scattered across the whole id space (a grid's hyperplane separator
+//! is a stride-`k` comb, for instance). [`separator_locality_order`]
+//! ranks vertices by the DFS-preorder position of their owning tree
+//! node — `node(v)`, the shallowest separator containing `v` or the
+//! leaf owning it — so each phase's targets occupy a contiguous rank
+//! range and consecutive phases walk the range monotonically, in the
+//! style of rust_road_router's nested-dissection `NodeOrder`.
+
+use spsep_graph::NodeOrder;
+
+use crate::tree::SepTree;
+
+/// Rank vertices by DFS preorder of their owning tree node (ties broken
+/// by vertex id, so the order is canonical for a given tree).
+///
+/// The result is a permutation of `0..n` for any assembled [`SepTree`]
+/// (every vertex has an owning node), used by
+/// `spsep_core::Preprocessed` to lay out its relaxation buckets.
+pub fn separator_locality_order(tree: &SepTree) -> NodeOrder {
+    let nodes = tree.nodes();
+    // DFS preorder over the (binary) tree, children in stored order.
+    let mut dfs_rank = vec![0u32; nodes.len()];
+    let mut stack = vec![0u32];
+    let mut next = 0u32;
+    while let Some(t) = stack.pop() {
+        dfs_rank[t as usize] = next;
+        next += 1;
+        if let Some((a, b)) = nodes[t as usize].children {
+            // Push right first so the left child is visited first.
+            stack.push(b);
+            stack.push(a);
+        }
+    }
+    let mut verts: Vec<u32> = (0..tree.n() as u32).collect();
+    verts.sort_by_key(|&v| (dfs_rank[tree.vertex_node(v as usize) as usize], v));
+    let Ok(order) = NodeOrder::from_sequence(verts) else {
+        // A permutation of 0..n sorted by key is still a permutation;
+        // from_sequence can only fail on malformed input.
+        unreachable!("sorted vertex ids form a permutation")
+    };
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn grid_skeleton(k: usize) -> Vec<Vec<u32>> {
+        let n = k * k;
+        let mut adj = vec![Vec::new(); n];
+        for r in 0..k {
+            for c in 0..k {
+                let v = r * k + c;
+                if c + 1 < k {
+                    adj[v].push((v + 1) as u32);
+                    adj[v + 1].push(v as u32);
+                }
+                if r + 1 < k {
+                    adj[v].push((v + k) as u32);
+                    adj[v + k].push(v as u32);
+                }
+            }
+        }
+        adj
+    }
+
+    #[test]
+    fn order_is_a_permutation_and_groups_separators() {
+        let k = 8;
+        let adj = grid_skeleton(k);
+        let tree = builders::bfs_tree(&adj, crate::RecursionLimits::default());
+        let order = separator_locality_order(&tree);
+        assert_eq!(order.len(), k * k);
+        // Permutation: rank∘node = id.
+        for v in 0..(k * k) as u32 {
+            assert_eq!(order.node(order.rank(v)), v);
+        }
+        // Vertices sharing an owning tree node occupy contiguous ranks.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = u32::MAX;
+        for r in 0..(k * k) as u32 {
+            let t = tree.vertex_node(order.node(r) as usize);
+            if t != prev {
+                assert!(seen.insert(t), "owning node {t} split across ranks");
+                prev = t;
+            }
+        }
+    }
+}

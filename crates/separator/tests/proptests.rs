@@ -9,7 +9,7 @@ use spsep_graph::generators;
 use spsep_separator::{builders, RecursionLimits};
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(40))]
 
     #[test]
     fn grid_trees_always_validate(w in 2usize..20, h in 2usize..20) {

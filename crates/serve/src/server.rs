@@ -751,7 +751,7 @@ mod tests {
             h.record(Duration::from_micros(us));
         }
         let p50 = h.quantile_us(0.50);
-        assert!(p50 >= 16.0 && p50 <= 64.0, "p50 bucket bound {p50}");
+        assert!((16.0..=64.0).contains(&p50), "p50 bucket bound {p50}");
         let p99 = h.quantile_us(0.99);
         assert!(p99 >= 1000.0, "p99 bucket bound {p99}");
     }

@@ -345,6 +345,363 @@ pub fn snapshot_corruptions() -> Vec<SnapshotCorruption> {
     ]
 }
 
+// ---------------------------------------------------------------------
+// spsep-oracle/v2 corruptions.
+//
+// The constants below mirror `spsep_core::iov2` but are written out
+// independently, so the catalog exercises the v2 *specification* (the
+// documented canonical layout) rather than whatever the writer happens
+// to emit.
+// ---------------------------------------------------------------------
+
+/// v2 header: magic 8 + version 4 + algorithm 4 + section count 4 +
+/// reserved 4.
+const V2_HEADER_LEN: usize = 24;
+/// Bytes per v2 section-table entry: tag 4 + pad 4 + offset 8 +
+/// length 8 + checksum 8.
+const V2_ENTRY_LEN: usize = 32;
+/// Sections in a v2 snapshot.
+const V2_SECTION_COUNT: usize = 14;
+/// First byte past the section table (`24 + 14·32`).
+const V2_TABLE_END: usize = V2_HEADER_LEN + V2_SECTION_COUNT * V2_ENTRY_LEN;
+/// Section payloads are aligned to this boundary; the first payload
+/// therefore starts at `pad₆₄(472) = 512`.
+const V2_SECTION_ALIGN: usize = 64;
+
+/// `(offset, length)` of the `idx`-th section, read from the table.
+fn v2_entry(bytes: &[u8], idx: usize) -> (usize, usize) {
+    let at = V2_HEADER_LEN + idx * V2_ENTRY_LEN;
+    let word = |p: usize| {
+        let Ok(raw) = <[u8; 8]>::try_from(&bytes[p..p + 8]) else {
+            unreachable!("slice of length 8")
+        };
+        u64::from_le_bytes(raw) as usize
+    };
+    (word(at + 8), word(at + 16))
+}
+
+/// The byte positions where a v2 snapshot's slabs begin and end —
+/// the natural truncation points beyond the per-header-byte sweep.
+/// Parsed from a *valid* snapshot's own section table.
+pub fn v2_section_bounds(bytes: &[u8]) -> Vec<(usize, usize)> {
+    (0..V2_SECTION_COUNT).map(|i| v2_entry(bytes, i)).collect()
+}
+
+/// Patch the payload of v2 section `idx` in place and **fix the stored
+/// FNV-1a checksum** — a checksum-consistent semantic patch that the
+/// integrity layer cannot catch, so the per-section validators must.
+fn patch_section_v2(bytes: &[u8], idx: usize, patch: fn(&mut Vec<u8>)) -> Vec<u8> {
+    let (off, len) = v2_entry(bytes, idx);
+    let mut payload = bytes[off..off + len].to_vec();
+    patch(&mut payload);
+    assert_eq!(payload.len(), len, "patches must preserve payload length");
+    let mut out = bytes.to_vec();
+    out[off..off + len].copy_from_slice(&payload);
+    let sum = spsep_graph::bytes::fnv1a64(&payload);
+    let sum_at = V2_HEADER_LEN + idx * V2_ENTRY_LEN + 24;
+    out[sum_at..sum_at + 8].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// A checksum-consistent semantic patch of the **TREE** section
+/// (the first node's kind byte set to an unassigned value).
+///
+/// Deliberately *not* part of [`snapshot_corruptions_v2`]: the v2
+/// reader borrows the tree bytes opaquely — the oracle answers
+/// distance queries without ever decoding them — so this patch loads
+/// fine and must instead surface as a typed error from
+/// `Oracle::save` (the first operation that decodes the tree). The
+/// snapshot_v2 suite asserts exactly that split.
+pub fn v2_tree_semantic_patch(bytes: &[u8]) -> Vec<u8> {
+    patch_section_v2(bytes, 13, |p| {
+        // Binary tree payload: n u64 · node count u64 · node 0
+        // (parent u32 · kind u8 · …). Kind 7 is unassigned.
+        p[20] = 7;
+    })
+}
+
+/// All `spsep-oracle/v2` corruptions. Every entry must make
+/// `Oracle::load` return `Err(SpsepError::…)` — never panic, never
+/// yield a usable oracle — when applied to a valid v2 snapshot of an
+/// instance with at least one edge, one shortcut, and one scheduled
+/// arc. Section indices: META 0, AEDG 1, OOFF 2, OADJ 3, IOFF 4,
+/// IADJ 5, LVLS 6, NORD 7, SEQN 8, BOFF 9, BSRC 10, BGRP 11, BARC 12,
+/// TREE 13.
+pub fn snapshot_corruptions_v2() -> Vec<SnapshotCorruption> {
+    vec![
+        SnapshotCorruption {
+            name: "v2: empty file",
+            apply: |_| Vec::new(),
+        },
+        SnapshotCorruption {
+            name: "v2: truncated inside the magic",
+            apply: |b| b[..7.min(b.len())].to_vec(),
+        },
+        SnapshotCorruption {
+            name: "v2: truncated mid-table",
+            apply: |b| b[..V2_HEADER_LEN + 5 * V2_ENTRY_LEN + 11].to_vec(),
+        },
+        SnapshotCorruption {
+            name: "v2: truncated at the first payload boundary",
+            apply: |b| {
+                let first = V2_TABLE_END.div_ceil(V2_SECTION_ALIGN) * V2_SECTION_ALIGN;
+                b[..first].to_vec()
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: truncated mid-payload",
+            apply: |b| b[..b.len() / 2].to_vec(),
+        },
+        SnapshotCorruption {
+            name: "v2: trailer missing",
+            apply: |b| b[..b.len() - 8].to_vec(),
+        },
+        SnapshotCorruption {
+            name: "v2: last byte missing",
+            apply: |b| b[..b.len() - 1].to_vec(),
+        },
+        SnapshotCorruption {
+            name: "v2: trailing garbage after the trailer",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out.push(0);
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: bad magic",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[0] = b'X';
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: version skew (v2 bytes relabeled v1)",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[8..12].copy_from_slice(&1u32.to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: version skew (v3 from the future)",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[8..12].copy_from_slice(&3u32.to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: unknown algorithm code",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[12..16].copy_from_slice(&77u32.to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: wrong section count",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[16..20].copy_from_slice(&13u32.to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: nonzero reserved header word",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[20] = 1;
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: first section tag renamed",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[V2_HEADER_LEN..V2_HEADER_LEN + 4].copy_from_slice(b"XXXX");
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: nonzero section tag padding",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[V2_HEADER_LEN + 4] = 0xab;
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: section offset shifted by one alignment unit",
+            apply: |b| {
+                let (off, _) = v2_entry(b, 1);
+                let mut out = b.to_vec();
+                let at = V2_HEADER_LEN + V2_ENTRY_LEN + 8;
+                out[at..at + 8].copy_from_slice(&((off + V2_SECTION_ALIGN) as u64).to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: section offset misaligned by one byte",
+            apply: |b| {
+                let (off, _) = v2_entry(b, 2);
+                let mut out = b.to_vec();
+                let at = V2_HEADER_LEN + 2 * V2_ENTRY_LEN + 8;
+                out[at..at + 8].copy_from_slice(&((off + 1) as u64).to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: section length inflated (canonical offsets disagree)",
+            apply: |b| {
+                let (_, len) = v2_entry(b, 1);
+                let mut out = b.to_vec();
+                let at = V2_HEADER_LEN + V2_ENTRY_LEN + 16;
+                out[at..at + 8].copy_from_slice(&((len + 1) as u64).to_le_bytes());
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: tampered padding between table and first slab",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[V2_TABLE_END] = 0xab;
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: flipped payload byte (checksum mismatch)",
+            apply: |b| {
+                let mut out = b.to_vec();
+                let mid = out.len() / 2;
+                out[mid] ^= 0xff;
+                out
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: flipped stored checksum byte",
+            apply: |b| {
+                let mut out = b.to_vec();
+                out[V2_HEADER_LEN + 24] ^= 0xff;
+                out
+            },
+        },
+        // Checksum-consistent semantic patches (patch_section_v2
+        // recomputes the FNV-1a sum): the slab validators are the last
+        // line of defense.
+        SnapshotCorruption {
+            name: "v2: META bucket count off by one (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 0, |p| {
+                    // num_buckets u64 at offset 64.
+                    let Ok(raw) = <[u8; 8]>::try_from(&p[64..72]) else {
+                        unreachable!("slice of length 8")
+                    };
+                    let nb = u64::from_le_bytes(raw);
+                    p[64..72].copy_from_slice(&(nb + 1).to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: AEDG edge endpoint out of range (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 1, |p| {
+                    // Edge { from u32, to u32, w f64 }: from at 0.
+                    p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: AEDG NaN weight (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 1, |p| {
+                    p[8..16].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: OOFF offsets do not start at zero (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 2, |p| {
+                    p[0..4].copy_from_slice(&1u32.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: LVLS level exceeds d_G (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 6, |p| {
+                    // Large but not the UNDEFINED_LEVEL sentinel.
+                    p[0..4].copy_from_slice(&0x7fff_0000u32.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: NORD duplicate rank — not a permutation (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 7, |p| {
+                    let (dst, src) = p.split_at_mut(4);
+                    dst.copy_from_slice(&src[0..4]);
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: SEQN phase references a bucket out of range (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 8, |p| {
+                    p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: BOFF row does not start at zero (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 9, |p| {
+                    p[0..8].copy_from_slice(&1u64.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: BSRC source vertex out of range (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 10, |p| {
+                    p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: BGRP group bounds break the arc partition (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 11, |p| {
+                    // Group { target u32, start u32, end u32 }: start at 4.
+                    p[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: BARC arc slot out of range (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 12, |p| {
+                    // ArcRec { slot u32, id u32, w f64 }: slot at 0.
+                    p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                })
+            },
+        },
+        SnapshotCorruption {
+            name: "v2: BARC arc weight disagrees with its edge (checksum fixed)",
+            apply: |b| {
+                patch_section_v2(b, 12, |p| {
+                    // Flip the sign bit of the first arc's weight: the
+                    // arc/edge cross-check must notice even though the
+                    // checksum is consistent.
+                    p[15] ^= 0x80;
+                })
+            },
+        },
+    ]
+}
+
 /// A structurally corrupted in-memory instance.
 pub struct CorruptInstance {
     /// Stable identifier (used in assertion messages).

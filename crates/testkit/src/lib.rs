@@ -38,7 +38,7 @@
 pub mod corrupt;
 
 pub use corrupt::{
-    instance_corruptions, snapshot_corruptions, text_corruptions, wire_corruptions,
-    CorruptInstance, SnapshotCorruption, TextCorruption, TextFormat, WireCorruption,
-    WireExpectation,
+    instance_corruptions, snapshot_corruptions, snapshot_corruptions_v2, text_corruptions,
+    v2_section_bounds, v2_tree_semantic_patch, wire_corruptions, CorruptInstance,
+    SnapshotCorruption, TextCorruption, TextFormat, WireCorruption, WireExpectation,
 };

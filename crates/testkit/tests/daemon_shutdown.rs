@@ -149,9 +149,8 @@ fn shutdown_under_concurrent_load_drains_typed_at_every_worker_count() {
             // The listener is gone: new connections are refused (a
             // RST/refusal or an unanswered connect, never a served one).
             if let Ok(mut late) = Client::connect(addr, Duration::from_millis(300)) {
-                match late.request(&Request::Ping) {
-                    Ok(resp) => panic!("workers={workers}: post-shutdown request served: {resp:?}"),
-                    Err(_) => {}
+                if let Ok(resp) = late.request(&Request::Ping) {
+                    panic!("workers={workers}: post-shutdown request served: {resp:?}");
                 }
             }
             assert!(

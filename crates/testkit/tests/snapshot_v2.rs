@@ -1,0 +1,274 @@
+//! The `spsep-oracle/v2` corruption suite.
+//!
+//! Contracts under test:
+//!
+//! 1. **Catalog robustness** — every [`snapshot_corruptions_v2`] entry
+//!    makes `Oracle::load` return a typed [`SpsepError`], never panic
+//!    (asserted under `catch_unwind` inside a watchdog), never a usable
+//!    oracle.
+//! 2. **Truncation sweep** — a cut at *every* header/table byte and at
+//!    every slab page boundary (±1) is a typed error.
+//! 3. **Version skew** — v1 bytes relabeled v2 and v2 bytes relabeled
+//!    v1 both fail with typed errors, in whichever parser the version
+//!    word routes them to.
+//! 4. **Lazy tree boundary** — a checksum-consistent semantic patch of
+//!    the TREE slab (which the v2 reader deliberately does not decode)
+//!    loads fine, answers bit-identically, and then fails with a typed
+//!    error at `save` — the first operation that decodes the tree.
+//! 5. **Daemon on v2** — a live daemon serving an mmapped v2 snapshot
+//!    answers bit-identically to the in-memory oracle, and a corrupted
+//!    snapshot can never boot a daemon in the first place.
+
+use spsep_core::{Algorithm, Oracle, SpsepError};
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits};
+use spsep_serve::{Client, Request, Response, ServeConfig, Server};
+use spsep_testkit::{snapshot_corruptions_v2, v2_section_bounds, v2_tree_semantic_patch};
+use std::panic::resume_unwind;
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn with_watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("watchdog-{name}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawn watchdog thread");
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(payload) => resume_unwind(payload),
+            Ok(_) => unreachable!("sender dropped without a panic"),
+        },
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("watchdog: '{name}' exceeded {WATCHDOG:?} — hang or deadlock")
+        }
+    }
+}
+
+fn grid_oracle(dims: [usize; 2], seed: u64) -> Oracle {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (g, _) = spsep_graph::generators::grid(&dims, &mut rng);
+    let tree = builders::grid_tree(&dims, RecursionLimits::default());
+    Oracle::prepare(g, tree, Algorithm::LeavesUp, &Metrics::new()).unwrap()
+}
+
+fn save_v2(oracle: &Oracle) -> Vec<u8> {
+    let mut buf = Vec::new();
+    oracle.save_v2(&mut buf).expect("save_v2 to a Vec cannot fail");
+    buf
+}
+
+fn save_v1(oracle: &Oracle) -> Vec<u8> {
+    let mut buf = Vec::new();
+    oracle.save(&mut buf).expect("save to a Vec cannot fail");
+    buf
+}
+
+fn assert_typed(err: SpsepError, name: &str) {
+    assert!(
+        matches!(
+            err,
+            SpsepError::Parse { .. }
+                | SpsepError::Io { .. }
+                | SpsepError::InvalidGraph { .. }
+                | SpsepError::InvalidDecomposition { .. }
+        ),
+        "{name}: unexpected error kind: {err:?}"
+    );
+    // Errors must render without panicking, too.
+    let _ = err.to_string();
+}
+
+#[test]
+fn every_v2_corruption_is_a_typed_error_never_a_panic() {
+    let fresh = grid_oracle([8, 8], 21);
+    assert!(
+        fresh.stats().eplus_edges > 0,
+        "catalog precondition: instance must have shortcuts"
+    );
+    let snapshot = Arc::new(save_v2(&fresh));
+
+    for corruption in snapshot_corruptions_v2() {
+        let name = corruption.name;
+        let snapshot = Arc::clone(&snapshot);
+        with_watchdog(name, move || {
+            let bad = (corruption.apply)(&snapshot);
+            assert_ne!(
+                bad.as_slice(),
+                snapshot.as_slice(),
+                "{name}: corruption did not change the bytes"
+            );
+            match std::panic::catch_unwind(|| Oracle::load(bad.as_slice())) {
+                Ok(Err(err)) => assert_typed(err, name),
+                Ok(Ok(_)) => panic!("{name}: corrupted snapshot loaded successfully"),
+                Err(_) => panic!("{name}: load panicked"),
+            }
+        });
+    }
+}
+
+#[test]
+fn truncation_at_every_header_byte_and_slab_boundary_is_a_typed_error() {
+    let fresh = grid_oracle([6, 6], 22);
+    let snapshot = save_v2(&fresh);
+
+    // Every byte of the fixed header + section table region…
+    let header_end = 24 + 14 * 32;
+    let mut cuts: Vec<usize> = (0..=header_end).collect();
+    // …every slab boundary (start and end of every section, ±1)…
+    for (off, len) in v2_section_bounds(&snapshot) {
+        for cut in [
+            off.saturating_sub(1),
+            off,
+            off + 1,
+            (off + len).saturating_sub(1),
+            off + len,
+            off + len + 1,
+        ] {
+            cuts.push(cut);
+        }
+    }
+    // …and the trailer region.
+    for back in 1..=9 {
+        cuts.push(snapshot.len() - back);
+    }
+    cuts.retain(|&c| c < snapshot.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    for cut in cuts {
+        match std::panic::catch_unwind(|| Oracle::load(&snapshot[..cut])) {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("prefix of {cut} bytes loaded as a full v2 snapshot"),
+            Err(_) => panic!("load panicked at a {cut}-byte prefix"),
+        }
+    }
+}
+
+#[test]
+fn version_skew_both_directions_is_a_typed_error() {
+    let fresh = grid_oracle([6, 6], 23);
+
+    // v1 bytes relabeled v2: routed to the v2 parser, which rejects.
+    let mut v1_as_v2 = save_v1(&fresh);
+    v1_as_v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let Err(err) = Oracle::load(v1_as_v2.as_slice()) else {
+        panic!("v1 bytes relabeled v2 loaded successfully");
+    };
+    assert_typed(err, "v1 relabeled v2");
+
+    // v2 bytes relabeled v1: routed to the v1 parser, which rejects.
+    let mut v2_as_v1 = save_v2(&fresh);
+    v2_as_v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let Err(err) = Oracle::load(v2_as_v1.as_slice()) else {
+        panic!("v2 bytes relabeled v1 loaded successfully");
+    };
+    assert_typed(err, "v2 relabeled v1");
+}
+
+#[test]
+fn tree_patch_loads_answers_identically_then_fails_at_save() {
+    let fresh = grid_oracle([8, 8], 24);
+    let snapshot = save_v2(&fresh);
+    let patched = v2_tree_semantic_patch(&snapshot);
+    assert_ne!(patched, snapshot);
+
+    // The v2 reader does not decode the tree: the patch loads.
+    let served = Oracle::load(patched.as_slice())
+        .expect("a TREE-only semantic patch must load (the tree is opaque at load time)");
+
+    // Query answers never touch the tree bytes — still bit-identical.
+    let metrics = Metrics::new();
+    let n = fresh.n();
+    for s in [0, n / 2, n - 1] {
+        let want = fresh.source_table(s, &metrics).unwrap();
+        let got = served.source_table(s, &metrics).unwrap();
+        for v in 0..n {
+            assert_eq!(want[v].to_bits(), got[v].to_bits(), "source {s} vertex {v}");
+        }
+    }
+
+    // Re-exporting to v1 decodes the tree — the damage surfaces as a
+    // typed error there, not as a panic and not silently.
+    let mut sink = Vec::new();
+    match served.save(&mut sink) {
+        Err(err) => assert_typed(err, "save after TREE patch"),
+        Ok(()) => panic!("saving a patched tree succeeded"),
+    }
+}
+
+#[test]
+fn daemon_on_v2_mmap_answers_bit_identically_and_corrupt_files_never_boot() {
+    let fresh = grid_oracle([8, 8], 25);
+    let snapshot = save_v2(&fresh);
+    let dir = std::env::temp_dir().join(format!("spsep-v2-daemon-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snap.v2");
+    std::fs::write(&path, &snapshot).unwrap();
+
+    let served = Oracle::load_path(&path).expect("load_path on a valid v2 snapshot");
+    #[cfg(unix)]
+    assert!(served.is_slab_backed(), "v2 load_path must borrow the mmap");
+
+    // Live daemon on the mmapped oracle: answers must equal the
+    // in-memory oracle's bit for bit.
+    with_watchdog("daemon-on-v2", move || {
+        let server = Server::bind(
+            Arc::new(served),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(addr, Duration::from_secs(5)).unwrap();
+        let metrics = Metrics::new();
+        let n = fresh.n();
+        for s in [0usize, n / 3, n - 1] {
+            let want = fresh.source_table(s, &metrics).unwrap();
+            match client.request(&Request::Source { source: s as u64 }).unwrap() {
+                Response::Table(got) => {
+                    assert_eq!(got.len(), n, "table length from daemon");
+                    for v in 0..n {
+                        assert_eq!(
+                            want[v].to_bits(),
+                            got[v].to_bits(),
+                            "daemon answer drifted at source {s} vertex {v}"
+                        );
+                    }
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        drop(client);
+        handle.shutdown();
+        join.join().unwrap();
+    });
+
+    // A corrupted file must be rejected at load — the daemon can never
+    // come up on damaged bytes.
+    for corruption in snapshot_corruptions_v2().into_iter().take(6) {
+        let bad = (corruption.apply)(&snapshot);
+        let bad_path = dir.join("snap.bad");
+        std::fs::write(&bad_path, &bad).unwrap();
+        match Oracle::load_path(&bad_path) {
+            Err(err) => assert_typed(err, corruption.name),
+            Ok(_) => panic!("{}: corrupted file booted an oracle", corruption.name),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -28,7 +28,7 @@ fn planted_system(n: usize, m: usize, seed: u64) -> (System, Vec<f64>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn planted_feasible_systems_solve(n in 2usize..60, m in 1usize..200, seed in any::<u64>()) {

@@ -81,8 +81,8 @@ fn run(n: usize, n_depots: usize) -> f64 {
     // Agreement.
     let mut worst = 0.0f64;
     for (i, row) in sep_results.iter().enumerate() {
-        for v in 0..n {
-            let (a, b) = (row[v], johnson[i].dist[v]);
+        for (v, &a) in row.iter().enumerate().take(n) {
+            let b = johnson[i].dist[v];
             if a.is_finite() && b.is_finite() {
                 worst = worst.max((a - b).abs());
             } else {

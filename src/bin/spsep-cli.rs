@@ -115,12 +115,13 @@ struct Args {
     verify: Option<String>,
     load_out: Option<String>,
     shutdown_after: bool,
+    format: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spsep-cli <info|tree|sssp|reach|prepare> <graph.gr> \
-         [-s source] [-a 41|43|44] [-t tree.st] [-o out] [--print-dists]\n\
+         [-s source] [-a 41|43|44] [-t tree.st] [-o out] [--format v1|v2] [--print-dists]\n\
          \x20       [--metrics] [--metrics-out m.json] [--trace] [--trace-out t.json]\n\
          \x20      spsep-cli serve <oracle.sps> --queries q.txt \
          [--cache rows] [--batch] [--print-dists]\n\
@@ -168,6 +169,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         verify: None,
         load_out: None,
         shutdown_after: false,
+        format: "v2".into(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -268,6 +270,13 @@ fn parse_args() -> Result<Args, ExitCode> {
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(usage)?,
                 )
+            }
+            "--format" => {
+                args.format = match argv.next().as_deref() {
+                    Some("v1") => "v1".into(),
+                    Some("v2") => "v2".into(),
+                    _ => return Err(usage()),
+                }
             }
             "--verify" => args.verify = Some(argv.next().ok_or_else(usage)?),
             "--load-out" => args.load_out = Some(argv.next().ok_or_else(usage)?),
@@ -488,23 +497,29 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1000.0
 }
 
-/// Load an `spsep-oracle/v1` snapshot and apply the `--cache` override.
+/// Load an `spsep-oracle` snapshot (v2 is memory-mapped and borrowed
+/// zero-copy; v1 is streamed and decoded) and apply the `--cache`
+/// override.
 fn load_snapshot(args: &Args) -> Result<Oracle, String> {
     let snap_path = &args.graph_path;
     let t0 = std::time::Instant::now();
-    let file = File::open(snap_path).map_err(|e| format!("cannot open {snap_path}: {e}"))?;
-    let oracle =
-        Oracle::load(BufReader::new(file)).map_err(|e| format!("{snap_path}: {e}"))?;
+    let oracle = Oracle::load_path(std::path::Path::new(snap_path))
+        .map_err(|e| format!("{snap_path}: {e}"))?;
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
     if let Some(capacity) = args.cache {
         oracle.set_cache_capacity(capacity);
     }
     println!(
-        "loaded {snap_path}: n = {}, m = {}, |E+| = {}, algo = {:?}, {load_ms:.1} ms",
+        "loaded {snap_path}: n = {}, m = {}, |E+| = {}, algo = {:?}, {} {load_ms:.1} ms",
         oracle.n(),
         oracle.m(),
         oracle.stats().eplus_edges,
-        oracle.algo()
+        oracle.algo(),
+        if oracle.is_slab_backed() {
+            "(v2, mmap)"
+        } else {
+            "(v1, decoded)"
+        }
     );
     Ok(oracle)
 }
@@ -757,9 +772,8 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     // daemon's own Info response.
     let (n, verify) = match &args.verify {
         Some(path) => {
-            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            let oracle =
-                Oracle::load(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+            let oracle = Oracle::load_path(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
             (oracle.n(), Some(std::sync::Arc::new(oracle)))
         }
         None => {
@@ -981,7 +995,11 @@ fn run() -> Result<(), String> {
             let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
             ledger = Some(work_ledger(&tree, args.algo, &metrics.report(), None));
             let mut buf = Vec::new();
-            oracle.save(&mut buf).map_err(|e| e.to_string())?;
+            if args.format == "v1" {
+                oracle.save(&mut buf).map_err(|e| e.to_string())?;
+            } else {
+                oracle.save_v2(&mut buf).map_err(|e| e.to_string())?;
+            }
             std::fs::write(&out_path, &buf)
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             println!(
@@ -990,7 +1008,8 @@ fn run() -> Result<(), String> {
                 oracle.algo()
             );
             println!(
-                "snapshot: {} bytes → {out_path} ({prepare_ms:.1} ms preprocessing)",
+                "snapshot ({}): {} bytes → {out_path} ({prepare_ms:.1} ms preprocessing)",
+                args.format,
                 buf.len()
             );
         }

@@ -212,7 +212,8 @@ fn prepare_then_serve_roundtrip() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("prepared oracle"), "{text}");
-    assert!(text.contains("snapshot:"), "{text}");
+    // The default prepare format is the v2 mmap snapshot.
+    assert!(text.contains("snapshot (v2):"), "{text}");
     assert!(snapshot.exists());
 
     // Serve, one query at a time: answers + latency + cache report.

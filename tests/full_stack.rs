@@ -44,14 +44,11 @@ fn the_whole_stack() {
         let metrics = Metrics::new();
         let pre = preprocess::<Tropical>(&g, &tree, algo, &metrics).unwrap();
         let (dist, _) = pre.distances_seq(7);
-        for v in 0..n {
+        for (v, &d) in dist.iter().enumerate().take(n) {
             if truth.dist[v].is_finite() {
-                assert!(
-                    (dist[v] - truth.dist[v]).abs() < 1e-6,
-                    "{algo:?} vertex {v}"
-                );
+                assert!((d - truth.dist[v]).abs() < 1e-6, "{algo:?} vertex {v}");
             } else {
-                assert!(dist[v].is_infinite());
+                assert!(d.is_infinite());
             }
         }
         if first.is_none() {

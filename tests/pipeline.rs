@@ -25,8 +25,8 @@ fn facade_quickstart_flow() {
     let pre = preprocess::<Tropical>(&g, &tree, Algorithm::LeavesUp, &metrics).unwrap();
     let (dist, _) = pre.distances_seq(0);
     let truth = baselines::dijkstra(&g, 0);
-    for v in 0..g.n() {
-        assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+    for (v, &d) in dist.iter().enumerate() {
+        assert!((d - truth.dist[v]).abs() < 1e-6);
     }
     let parent = query::shortest_path_tree::<Tropical>(&g, 0, &dist);
     let path = query::path_from_tree(&g, &parent, 0, g.n() - 1).unwrap();
@@ -48,8 +48,8 @@ fn io_roundtrip_preserves_distances() {
     let pre = preprocess::<Tropical>(&g2, &tree, Algorithm::LeavesUp, &metrics).unwrap();
     let (dist, _) = pre.distances_seq(3);
     let truth = baselines::dijkstra(&g, 3);
-    for v in 0..g.n() {
-        assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+    for (v, &d) in dist.iter().enumerate() {
+        assert!((d - truth.dist[v]).abs() < 1e-6);
     }
 }
 
@@ -72,11 +72,11 @@ fn one_tree_many_weightings() {
         let pre = preprocess::<Tropical>(g, &tree, Algorithm::PathDoubling, &metrics).unwrap();
         let (dist, _) = pre.distances_seq(0);
         let truth = baselines::bellman_ford(g, 0).unwrap();
-        for v in 0..g.n() {
+        for (v, &d) in dist.iter().enumerate() {
             if truth.dist[v].is_finite() {
-                assert!((dist[v] - truth.dist[v]).abs() < 1e-6);
+                assert!((d - truth.dist[v]).abs() < 1e-6);
             } else {
-                assert!(dist[v].is_infinite());
+                assert!(d.is_infinite());
             }
         }
     }
@@ -111,9 +111,9 @@ fn reachability_pipeline_matches_dense_closure() {
     let closure = baselines::transitive_closure_dense(&g);
     for s in [0usize, 13, 50, 95] {
         let row = pre.distances_seq(s).0;
-        for v in 0..g.n() {
+        for (v, &got) in row.iter().enumerate() {
             let expect = closure.get(s, v);
-            assert_eq!(row[v], expect, "({s},{v})");
+            assert_eq!(got, expect, "({s},{v})");
         }
     }
     // Generic Boolean semiring agrees too.
