@@ -15,10 +15,12 @@
 //!     e19 --serve-out BENCH_serve.json         # daemon chaos-load bench
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e20 --mmap-out BENCH_mmap.json           # v1-decode vs v2-mmap load
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e21 --simd-out BENCH_simd.json           # scalar-vs-SIMD kernels
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 e17 e18 e19 e20 check
+//! e15 e16 e17 e18 e19 e20 e21 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
@@ -30,18 +32,20 @@
 //! `--serve-out <path>` / `--serve-in <path>` for E19's
 //! `spsep-serve-bench/v1` daemon chaos-load benchmark; `--mmap-out
 //! <path>` / `--mmap-in <path>` for E20's `spsep-mmap-bench/v1`
-//! v1-decode vs v2-mmap load benchmark; `--smoke` shrinks
-//! E16/E17/E18/E19/E20 to CI-sized instances.
+//! v1-decode vs v2-mmap load benchmark; `--simd-out
+//! <path>` / `--simd-in <path>` for E21's `spsep-simd-bench/v1`
+//! scalar-vs-SIMD kernel benchmark; `--smoke` shrinks
+//! E16/E17/E18/E19/E20/E21 to CI-sized instances.
 //!
 //! Unknown experiment ids and flags are reported with the valid set —
 //! never a bare panic.
 
-use spsep_bench::{amortize, experiments, kernels, mmap, phases, serve};
+use spsep_bench::{amortize, experiments, kernels, mmap, phases, serve, simd};
 
 /// Every experiment id `tables` understands, in presentation order.
 const VALID_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "fig1", "fig2", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "check", "all",
+    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "check", "all",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -49,7 +53,8 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage: tables [ids...] [--smoke] [--kernels-out p] [--phases-out p] \
          [--phases-in p] [--amortize-out p] [--amortize-in p] \
-         [--serve-out p] [--serve-in p] [--mmap-out p] [--mmap-in p]\n\
+         [--serve-out p] [--serve-in p] [--mmap-out p] [--mmap-in p] \
+         [--simd-out p] [--simd-in p]\n\
          valid ids: {}",
         VALID_IDS.join(" ")
     );
@@ -84,6 +89,8 @@ fn main() {
     let mut serve_in: Option<String> = None;
     let mut mmap_out: Option<String> = None;
     let mut mmap_in: Option<String> = None;
+    let mut simd_out: Option<String> = None;
+    let mut simd_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -98,6 +105,8 @@ fn main() {
             "--serve-in" => serve_in = Some(flag_value(&mut it, "--serve-in")),
             "--mmap-out" => mmap_out = Some(flag_value(&mut it, "--mmap-out")),
             "--mmap-in" => mmap_in = Some(flag_value(&mut it, "--mmap-in")),
+            "--simd-out" => simd_out = Some(flag_value(&mut it, "--simd-out")),
+            "--simd-in" => simd_in = Some(flag_value(&mut it, "--simd-in")),
             flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
             id if !VALID_IDS.contains(&id) => fail(&format!("unknown experiment id '{id}'")),
             _ => args.push(a),
@@ -274,6 +283,33 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("mmap artifact failed validation: {e}")));
             if let Some(path) = &mmap_out {
                 write_or_fail(path, &json, "mmap artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
+        }
+    }
+    if want("e21") || simd_out.is_some() || simd_in.is_some() {
+        if let Some(path) = &simd_in {
+            let json = read_or_fail(path, "simd artifact");
+            let records = simd::read_simd_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "{hr}\nE21 — scalar-vs-SIMD kernels from {path} ({} entries):\n\n{}",
+                records.len(),
+                simd::render_simd_table(&records)
+            );
+        } else {
+            let (report, records) = simd::e21_simd_speedup(smoke);
+            println!("{hr}\n{report}");
+            assert!(
+                records.iter().all(|r| r.bit_identical),
+                "SIMD kernels diverged from blocked scalar — determinism \
+                 contract broken"
+            );
+            let json = simd::simd_json(&records);
+            let entries = simd::validate_simd_json(&json)
+                .unwrap_or_else(|e| fail(&format!("simd artifact failed validation: {e}")));
+            if let Some(path) = &simd_out {
+                write_or_fail(path, &json, "simd artifact");
                 eprintln!("[tables] wrote {path} ({entries} entries)");
             }
         }

@@ -33,7 +33,7 @@ pub struct KernelRecord {
 
 /// Densify the first `size` vertices of a family instance into a
 /// tropical matrix (identity diagonal, edge weights elsewhere).
-fn dense_from_family(family: Family, size: usize, seed: u64) -> SemiMatrix<Tropical> {
+pub(crate) fn dense_from_family(family: Family, size: usize, seed: u64) -> SemiMatrix<Tropical> {
     // Request twice the target so every family (notably 3-D grids, which
     // round to a cube) yields at least `size` vertices.
     let (g, _) = family.instance(size * 2, seed);
@@ -50,12 +50,12 @@ fn dense_from_family(family: Family, size: usize, seed: u64) -> SemiMatrix<Tropi
     m
 }
 
-fn median(mut v: Vec<f64>) -> f64 {
+pub(crate) fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(f64::total_cmp);
     v[v.len() / 2]
 }
 
-fn same_bits(a: &SemiMatrix<Tropical>, b: &SemiMatrix<Tropical>) -> bool {
+pub(crate) fn same_bits(a: &SemiMatrix<Tropical>, b: &SemiMatrix<Tropical>) -> bool {
     a.data()
         .iter()
         .zip(b.data())

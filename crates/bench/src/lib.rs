@@ -13,6 +13,7 @@ pub mod kernels;
 pub mod mmap;
 pub mod phases;
 pub mod serve;
+pub mod simd;
 
 /// Fixed-width table printer for experiment output.
 pub struct Table {

@@ -9,7 +9,7 @@
 //! decoding the legacy `spsep-oracle/v1` stream. Both snapshot loads go
 //! through the same `Oracle::load_path` entry point the CLI uses, on
 //! real temp files, and load wall-clocks take the best of
-//! [`LOAD_REPS`] runs so the v1/v2 ratio is not noise. Every row also
+//! `LOAD_REPS` runs so the v1/v2 ratio is not noise. Every row also
 //! re-checks the bit-identity contract: full `source_table` rows from
 //! the v1-loaded and v2-loaded oracles must equal the freshly prepared
 //! oracle's rows via `to_bits`, and the v2 oracle must actually be
@@ -47,10 +47,10 @@ pub struct MmapRecord {
     /// Full preprocessing wall-clock (validate + augment + compile), ms.
     pub prepare_ms: f64,
     /// `Oracle::load_path` on the v1 file: streaming decode of every
-    /// edge record, ms (best of [`LOAD_REPS`]).
+    /// edge record, ms (best of `LOAD_REPS`).
     pub v1_load_ms: f64,
     /// `Oracle::load_path` on the v2 file: mmap + header/checksum
-    /// validation + slab borrows, ms (best of [`LOAD_REPS`]).
+    /// validation + slab borrows, ms (best of `LOAD_REPS`).
     pub v2_load_ms: f64,
     /// `v1_load_ms / v2_load_ms`: what zero-copy buys over decoding.
     pub mmap_speedup: f64,

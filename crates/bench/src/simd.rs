@@ -1,0 +1,402 @@
+//! E21 — scalar-vs-SIMD dense kernel wall-clock, plus the
+//! `BENCH_simd.json` artifact (schema `spsep-simd-bench/v1`).
+//!
+//! The baseline is the *blocked scalar* tier ([`SemiMatrix::floyd_warshall_blocked`]
+//! / [`SemiMatrix::square_step_blocked`]); the candidate is the
+//! auto-dispatched entry point, which resolves to the AVX-512F or AVX2
+//! relax kernel on capable hosts and to the same blocked scalar code
+//! everywhere else. The artifact records which tier actually ran
+//! (`dispatch` / `simd_active`), so a scalar-fallback run is an honest
+//! ~1.0x row rather than a silent lie. Every run re-checks that both
+//! tiers produce byte-for-byte identical matrices.
+//!
+//! [`SemiMatrix::floyd_warshall_blocked`]: spsep_graph::dense::SemiMatrix::floyd_warshall_blocked
+//! [`SemiMatrix::square_step_blocked`]: spsep_graph::dense::SemiMatrix::square_step_blocked
+
+use crate::families::Family;
+use crate::jsonv::{field, parse_json, Json};
+use crate::kernels::{dense_from_family, median, same_bits};
+use crate::{fmt_f, Table};
+use spsep_graph::dense::{select_kernel, simd_active};
+use spsep_graph::semiring::Tropical;
+use std::time::Instant;
+
+/// One measured (family, n, kernel) point.
+pub struct SimdRecord {
+    /// Machine-readable family slug (`grid2d`, `tree`, …).
+    pub family: String,
+    /// Matrix dimension.
+    pub n: usize,
+    /// `floyd_warshall` or `square_step`.
+    pub kernel: String,
+    /// Median wall-clock of the blocked scalar tier, milliseconds.
+    pub scalar_ms: f64,
+    /// Median wall-clock of the auto-dispatched tier, milliseconds.
+    pub simd_ms: f64,
+    /// `scalar_ms / simd_ms`.
+    pub speedup: f64,
+    /// Result matrices byte-for-byte equal on every run.
+    pub bit_identical: bool,
+}
+
+/// The dispatched kernel tier, as reported by the kernel itself
+/// (`simd-avx512`, `simd-avx2`, `simd-fallback-blocked`, or `blocked`
+/// when the `simd` feature is compiled out).
+pub fn dispatch_name() -> &'static str {
+    select_kernel::<Tropical>().name()
+}
+
+/// E21 — single-thread wall-clock of the auto-dispatched (SIMD where the
+/// host supports it) kernels against the blocked scalar tier, per
+/// family. Returns the rendered report plus the raw records.
+///
+/// `smoke` shrinks sizes and run counts so CI can exercise the full
+/// pipeline (measure → serialize → validate) in seconds.
+pub fn e21_simd_speedup(smoke: bool) -> (String, Vec<SimdRecord>) {
+    let sizes: &[usize] = if smoke { &[40, 64] } else { &[256, 512, 768] };
+    let runs = if smoke { 1 } else { 5 };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool");
+    let mut records = Vec::new();
+    for family in Family::all() {
+        for &size in sizes {
+            let base = dense_from_family(family, size, 11);
+            let n = base.n();
+
+            // Full closure: blocked scalar FW vs auto (SIMD) FW.
+            let mut fw_scalar = Vec::new();
+            let mut fw_simd = Vec::new();
+            let mut fw_bits = true;
+            for _ in 0..runs {
+                let mut a = base.clone();
+                let t0 = Instant::now();
+                pool.install(|| a.floyd_warshall_blocked());
+                fw_scalar.push(t0.elapsed().as_secs_f64() * 1e3);
+                let mut b = base.clone();
+                let t0 = Instant::now();
+                pool.install(|| b.floyd_warshall());
+                fw_simd.push(t0.elapsed().as_secs_f64() * 1e3);
+                fw_bits &= same_bits(&a, &b);
+            }
+            let (sm, vm) = (median(fw_scalar), median(fw_simd));
+            records.push(SimdRecord {
+                family: family.slug().into(),
+                n,
+                kernel: "floyd_warshall".into(),
+                scalar_ms: sm,
+                simd_ms: vm,
+                speedup: sm / vm.max(1e-9),
+                bit_identical: fw_bits,
+            });
+
+            // One doubling step: blocked scalar vs auto (SIMD relax form).
+            let mut sq_scalar = Vec::new();
+            let mut sq_simd = Vec::new();
+            let mut sq_bits = true;
+            for _ in 0..runs {
+                let mut a = base.clone();
+                let t0 = Instant::now();
+                pool.install(|| a.square_step_blocked());
+                sq_scalar.push(t0.elapsed().as_secs_f64() * 1e3);
+                let mut b = base.clone();
+                let t0 = Instant::now();
+                pool.install(|| b.square_step());
+                sq_simd.push(t0.elapsed().as_secs_f64() * 1e3);
+                sq_bits &= same_bits(&a, &b);
+            }
+            let (sm, vm) = (median(sq_scalar), median(sq_simd));
+            records.push(SimdRecord {
+                family: family.slug().into(),
+                n,
+                kernel: "square_step".into(),
+                scalar_ms: sm,
+                simd_ms: vm,
+                speedup: sm / vm.max(1e-9),
+                bit_identical: sq_bits,
+            });
+        }
+    }
+
+    let mut out = format!(
+        "E21 — auto-dispatched (SIMD) vs blocked scalar kernel wall-clock, \
+         single thread (median of {runs} run(s), sizes {sizes:?}). \
+         Dispatch on this host: `{}` (simd_active = {}). The candidate \
+         order per cell is identical across tiers, so the `bitident` \
+         column must read `yes` everywhere — the SIMD tier is a pure \
+         speed change.\n\n",
+        dispatch_name(),
+        simd_active::<Tropical>(),
+    );
+    out.push_str(&render_simd_table(&records));
+    if !smoke {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in records.iter().filter(|r| r.kernel == "square_step" && r.n >= 512) {
+            lo = lo.min(r.speedup);
+            hi = hi.max(r.speedup);
+        }
+        out.push_str(&format!(
+            "\nAcceptance note: the target was >= 1.5x SIMD-vs-scalar on \
+             kernel-bound square_step rows at n >= 512; this host measures \
+             {lo:.2}x-{hi:.2}x. Honest decomposition of that number: the \
+             SIMD tier's square_step also switches from the scalar tier's \
+             dot-product (ijk) form to the relax (ikj) form, which skips a \
+             whole 0-weight pivot row with one test — on these sparse \
+             family matrices (first squaring step) that form change is a \
+             large share of the gain. The floyd_warshall rows, where both \
+             tiers run the same schedule and only the inner loop widens, \
+             are the clean lane-width signal.\n"
+        ));
+    }
+    (out, records)
+}
+
+/// Render records as the E21 table (shared by measure and `--simd-in`).
+pub fn render_simd_table(records: &[SimdRecord]) -> String {
+    let mut t = Table::new(&[
+        "family", "n", "kernel", "scalar_ms", "simd_ms", "speedup", "bitident",
+    ]);
+    for r in records {
+        t.row(vec![
+            r.family.clone(),
+            r.n.to_string(),
+            r.kernel.clone(),
+            fmt_f(r.scalar_ms),
+            fmt_f(r.simd_ms),
+            format!("{:.2}x", r.speedup),
+            if r.bit_identical { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+/// Serialize records as `spsep-simd-bench/v1` JSON.
+pub fn simd_json(records: &[SimdRecord]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut s = String::from("{\n  \"schema\": \"spsep-simd-bench/v1\",\n");
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str(&format!("  \"dispatch\": \"{}\",\n", dispatch_name()));
+    s.push_str(&format!(
+        "  \"simd_active\": {},\n",
+        simd_active::<Tropical>()
+    ));
+    s.push_str("  \"threads\": 1,\n  \"entries\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"kernel\": \"{}\", \
+             \"scalar_ms\": {:.4}, \"simd_ms\": {:.4}, \
+             \"speedup\": {:.4}, \"bit_identical\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.kernel,
+            r.scalar_ms,
+            r.simd_ms,
+            r.speedup,
+            r.bit_identical,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Validate a `spsep-simd-bench/v1` document. Returns the entry count.
+///
+/// Checks structure and types, entry-level invariants (known kernel
+/// names, positive `n`, non-negative times, finite positive speedup),
+/// and that at least one entry is present. As with the E16 artifact,
+/// truth of `bit_identical` is a *result*, not a schema property — the
+/// `tables` binary asserts it.
+pub fn validate_simd_json(json: &str) -> Result<usize, String> {
+    let Json::Obj(top) = parse_json(json)? else {
+        return Err("top level must be an object".into());
+    };
+    match field(&top, "schema")? {
+        Json::Str(s) if s == "spsep-simd-bench/v1" => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    match field(&top, "dispatch")? {
+        Json::Str(s) if !s.is_empty() => {}
+        _ => return Err("`dispatch` must be a non-empty string".into()),
+    }
+    if !matches!(field(&top, "simd_active")?, Json::Bool(_)) {
+        return Err("`simd_active` must be a bool".into());
+    }
+    for key in ["host_cores", "threads"] {
+        let Json::Num(v) = field(&top, key)? else {
+            return Err(format!("`{key}` must be a number"));
+        };
+        if *v < 1.0 {
+            return Err(format!("`{key}` must be >= 1"));
+        }
+    }
+    let Json::Arr(entries) = field(&top, "entries")? else {
+        return Err("`entries` must be an array".into());
+    };
+    if entries.is_empty() {
+        return Err("`entries` is empty".into());
+    }
+    for (idx, e) in entries.iter().enumerate() {
+        let Json::Obj(e) = e else {
+            return Err(format!("entry {idx} is not an object"));
+        };
+        let ctx = |msg: &str| format!("entry {idx}: {msg}");
+        match field(e, "family").map_err(|m| ctx(&m))? {
+            Json::Str(s) if !s.is_empty() => {}
+            _ => return Err(ctx("`family` must be a non-empty string")),
+        }
+        match field(e, "kernel").map_err(|m| ctx(&m))? {
+            Json::Str(s) if s == "floyd_warshall" || s == "square_step" => {}
+            other => return Err(ctx(&format!("unknown kernel {other:?}"))),
+        }
+        match field(e, "n").map_err(|m| ctx(&m))? {
+            Json::Num(v) if *v >= 1.0 && v.fract() == 0.0 => {}
+            _ => return Err(ctx("`n` must be a positive integer")),
+        }
+        for key in ["scalar_ms", "simd_ms"] {
+            match field(e, key).map_err(|m| ctx(&m))? {
+                Json::Num(v) if *v >= 0.0 && v.is_finite() => {}
+                _ => return Err(ctx(&format!("`{key}` must be a finite non-negative number"))),
+            }
+        }
+        match field(e, "speedup").map_err(|m| ctx(&m))? {
+            Json::Num(v) if *v > 0.0 && v.is_finite() => {}
+            _ => return Err(ctx("`speedup` must be a finite positive number")),
+        }
+        if !matches!(field(e, "bit_identical").map_err(|m| ctx(&m))?, Json::Bool(_)) {
+            return Err(ctx("`bit_identical` must be a bool"));
+        }
+    }
+    Ok(entries.len())
+}
+
+/// Parse a validated `spsep-simd-bench/v1` document back into records
+/// (for `tables e21 --simd-in`).
+pub fn read_simd_json(json: &str) -> Result<Vec<SimdRecord>, String> {
+    validate_simd_json(json)?;
+    let Json::Obj(top) = parse_json(json)? else {
+        return Err("top level must be an object".into());
+    };
+    let Json::Arr(entries) = field(&top, "entries")? else {
+        return Err("`entries` must be an array".into());
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let Json::Obj(e) = e else {
+            return Err("entry is not an object".into());
+        };
+        let str_of = |key: &str| -> Result<String, String> {
+            match field(e, key)? {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(format!("`{key}` must be a string")),
+            }
+        };
+        let num_of = |key: &str| -> Result<f64, String> {
+            match field(e, key)? {
+                Json::Num(v) => Ok(*v),
+                _ => Err(format!("`{key}` must be a number")),
+            }
+        };
+        let bit = match field(e, "bit_identical")? {
+            Json::Bool(b) => *b,
+            _ => return Err("`bit_identical` must be a bool".into()),
+        };
+        out.push(SimdRecord {
+            family: str_of("family")?,
+            n: num_of("n")? as usize,
+            kernel: str_of("kernel")?,
+            scalar_ms: num_of("scalar_ms")?,
+            simd_ms: num_of("simd_ms")?,
+            speedup: num_of("speedup")?,
+            bit_identical: bit,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SimdRecord> {
+        vec![SimdRecord {
+            family: "grid2d".into(),
+            n: 512,
+            kernel: "square_step".into(),
+            scalar_ms: 30.0,
+            simd_ms: 12.0,
+            speedup: 2.5,
+            bit_identical: true,
+        }]
+    }
+
+    #[test]
+    fn writer_output_validates_and_round_trips() {
+        let json = simd_json(&sample());
+        assert_eq!(validate_simd_json(&json), Ok(1));
+        let back = read_simd_json(&json).expect("round-trip");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].family, "grid2d");
+        assert_eq!(back[0].n, 512);
+        assert_eq!(back[0].kernel, "square_step");
+        assert!(back[0].bit_identical);
+        assert!((back[0].speedup - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_simd_json("").is_err());
+        assert!(validate_simd_json("[]").is_err());
+        assert!(validate_simd_json("{\"schema\": \"other/v9\"}").is_err());
+        // Wrong schema string.
+        let bad = simd_json(&sample()).replace("spsep-simd-bench/v1", "nope");
+        assert!(validate_simd_json(&bad).is_err());
+        // Unknown kernel name.
+        let bad = simd_json(&sample()).replace("square_step", "strassen");
+        assert!(validate_simd_json(&bad).is_err());
+        // Missing dispatch field.
+        let bad = simd_json(&sample()).replace("\"dispatch\"", "\"dispatched\"");
+        assert!(validate_simd_json(&bad).is_err());
+        // Empty entry list.
+        let mut empty = simd_json(&[]);
+        assert!(validate_simd_json(&empty).is_err());
+        // Truncated document.
+        empty.truncate(empty.len() / 2);
+        assert!(validate_simd_json(&empty).is_err());
+    }
+
+    #[test]
+    fn dispatch_name_matches_simd_active() {
+        let name = dispatch_name();
+        if simd_active::<Tropical>() {
+            assert!(name == "simd-avx512" || name == "simd-avx2", "{name}");
+        } else {
+            assert!(
+                name == "simd-fallback-blocked" || name == "blocked",
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_artifact_validates() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simd.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_simd.json committed at repo root");
+        let entries =
+            validate_simd_json(&json).expect("committed artifact is valid spsep-simd-bench/v1");
+        // 5 families x 3 sizes x 2 kernels.
+        assert_eq!(entries, 30);
+    }
+
+    #[test]
+    fn e21_smoke_measures_all_families_bit_identically() {
+        let (report, records) = e21_simd_speedup(true);
+        // 5 families x 2 sizes x 2 kernels.
+        assert_eq!(records.len(), 20);
+        assert!(records.iter().all(|r| r.bit_identical), "{report}");
+        let json = simd_json(&records);
+        assert_eq!(validate_simd_json(&json), Ok(20));
+    }
+}

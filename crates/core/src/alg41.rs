@@ -215,7 +215,10 @@ pub(crate) fn process_internal<S: Semiring>(
         )
     };
 
-    // Step i–ii: H_S and its closure.
+    // Step i–ii: H_S and its closure, through the kernel tier the
+    // workspace bound once at creation (scalar/SIMD dispatch is not
+    // re-resolved per node).
+    let kernel = ws.kernel;
     let hs = &mut ws.dense;
     hs.reset_identity(ns);
     for (a, &u) in sep_verts.iter().enumerate() {
@@ -225,7 +228,7 @@ pub(crate) fn process_internal<S: Semiring>(
             }
         }
     }
-    let outcome = hs.floyd_warshall();
+    let outcome = kernel.floyd_warshall(hs);
     let hs = &ws.dense;
 
     // Step iii: rectangular blocks of H.

@@ -12,6 +12,14 @@
 use rayon::prelude::*;
 
 const BITS: usize = 64;
+/// Rows of `self` per multiply tile: one parallel task closes a tile
+/// against one k-block of `other` before moving on, so the k-block's rows
+/// are reused `ROW_TILE` times from cache.
+const ROW_TILE: usize = 16;
+/// Width of a multiply k-block in words (256 columns of `self` = 256 rows
+/// of `other`): 256 rows × up to 16 result words ≈ 32 KiB of `other`, an
+/// L1-sized working set.
+const KBLOCK_WORDS: usize = 4;
 
 /// A dense `rows × cols` boolean matrix, rows packed into `u64` words.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,11 +98,17 @@ impl BitMatrix {
     }
 
     /// Boolean matrix product `self × other` (shapes `r×k` by `k×c`),
-    /// parallelized over rows of `self`.
+    /// parallelized over `ROW_TILE`-row tiles of `self`.
     ///
-    /// Row-oriented: for each set bit `j` of row `i` of `self`, OR row `j`
-    /// of `other` into row `i` of the result — `r·k/1` bit tests plus one
-    /// word-vector OR per set bit, i.e. `O(r·k·c/64)` word ops worst case.
+    /// Row-oriented and cache-blocked: for each set bit `j` of row `i` of
+    /// `self`, OR row `j` of `other` into row `i` of the result — `r·k`
+    /// bit tests plus one word-vector OR per set bit, `O(r·k·c/64)` word
+    /// ops worst case. The `k` dimension is walked in `KBLOCK_WORDS`
+    /// blocks *outside* the tile's row loop, so an L1-resident slice of
+    /// `other` (≤ 256 rows) is reused across all rows of the tile instead
+    /// of being streamed from L2/DRAM once per row. OR is commutative and
+    /// idempotent, so the reordering cannot change any output bit (the
+    /// `multiply_matches_naive_*` tests pin this).
     pub fn multiply(&self, other: &BitMatrix) -> BitMatrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must match");
         let mut result = BitMatrix::zeros(self.rows, other.cols);
@@ -102,23 +116,31 @@ impl BitMatrix {
         let wpr_in = self.words_per_row;
         result
             .data
-            .par_chunks_mut(wpr_out.max(1))
+            .par_chunks_mut(wpr_out.max(1) * ROW_TILE)
             .enumerate()
-            .for_each(|(i, out_row)| {
-                let my_row = &self.data[i * wpr_in..(i + 1) * wpr_in];
-                for (wi, &word) in my_row.iter().enumerate() {
-                    let mut bits = word;
-                    while bits != 0 {
-                        let j = wi * BITS + bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        if j >= other.rows {
-                            break;
-                        }
-                        let other_row = other.row(j);
-                        for (o, &w) in out_row.iter_mut().zip(other_row) {
-                            *o |= w;
+            .for_each(|(ti, out_rows)| {
+                let i0 = ti * ROW_TILE;
+                let mut kw0 = 0usize;
+                while kw0 < wpr_in {
+                    let kw1 = (kw0 + KBLOCK_WORDS).min(wpr_in);
+                    for (ri, out_row) in out_rows.chunks_mut(wpr_out.max(1)).enumerate() {
+                        let my_row = &self.data[(i0 + ri) * wpr_in..(i0 + ri + 1) * wpr_in];
+                        for (wi, &word) in my_row[kw0..kw1].iter().enumerate() {
+                            let mut bits = word;
+                            while bits != 0 {
+                                let j = (kw0 + wi) * BITS + bits.trailing_zeros() as usize;
+                                bits &= bits - 1;
+                                if j >= other.rows {
+                                    break;
+                                }
+                                let other_row = other.row(j);
+                                for (o, &w) in out_row.iter_mut().zip(other_row) {
+                                    *o |= w;
+                                }
+                            }
                         }
                     }
+                    kw0 = kw1;
                 }
             });
         result
@@ -224,6 +246,42 @@ mod tests {
                 }
             }
             assert_eq!(a.multiply(&b), naive_multiply(&a, &b));
+        }
+    }
+
+    /// Shapes chosen to straddle every blocking boundary: the k dimension
+    /// crosses the 256-bit k-block (and its word tail), the row count
+    /// crosses the 16-row tile, and thread counts vary — the blocked
+    /// product must be bit-identical to the naive triple loop throughout.
+    #[test]
+    fn blocked_multiply_bit_identical_across_block_boundaries() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let shapes = [
+            (ROW_TILE - 1, KBLOCK_WORDS * BITS - 1, 70),
+            (ROW_TILE, KBLOCK_WORDS * BITS, 64),
+            (ROW_TILE + 1, KBLOCK_WORDS * BITS + 1, 65),
+            (2 * ROW_TILE + 3, 2 * KBLOCK_WORDS * BITS + 37, 130),
+        ];
+        for &(r, k, c) in &shapes {
+            let mut a = BitMatrix::zeros(r, k);
+            let mut b = BitMatrix::zeros(k, c);
+            for i in 0..r {
+                for j in 0..k {
+                    a.set(i, j, rng.gen_bool(0.15));
+                }
+            }
+            for i in 0..k {
+                for j in 0..c {
+                    b.set(i, j, rng.gen_bool(0.15));
+                }
+            }
+            let want = naive_multiply(&a, &b);
+            for threads in [1usize, 2, 4] {
+                let got = rayon::with_max_threads(threads, || a.multiply(&b));
+                assert_eq!(got, want, "{r}x{k} × {k}x{c} at {threads} threads");
+            }
         }
     }
 

@@ -89,27 +89,42 @@ impl<W: Copy> DiGraph<W> {
         for e in &edges {
             assert!((e.from as usize) < n, "edge source {} out of range", e.from);
             assert!((e.to as usize) < n, "edge target {} out of range", e.to);
-            out_off[e.from as usize + 1] += 1;
-            in_off[e.to as usize + 1] += 1;
+            out_off[e.from as usize] += 1;
+            in_off[e.to as usize] += 1;
         }
+        // Exclusive prefix sums: off[v] becomes the start of row v.
+        let mut oacc = 0u32;
+        let mut iacc = 0u32;
         for v in 0..n {
-            out_off[v + 1] += out_off[v];
-            in_off[v + 1] += in_off[v];
+            let (oc, ic) = (out_off[v], in_off[v]);
+            out_off[v] = oacc;
+            in_off[v] = iacc;
+            oacc += oc;
+            iacc += ic;
         }
+        out_off[n] = oacc;
+        in_off[n] = iacc;
         let mut out_adj = vec![0u32; edges.len()];
         let mut in_adj = vec![0u32; edges.len()];
-        // Intentional clones: the scatter below advances these as write
-        // cursors, one per row, while the originals survive untouched as
-        // the CSR row starts.
-        let mut out_cursor = out_off.clone();
-        let mut in_cursor = in_off.clone();
+        // Scatter using the offset arrays themselves as write cursors (no
+        // cloned cursor arrays): after the scatter, off[v] has advanced to
+        // the end of row v — which is exactly the start of row v + 1 — so
+        // one shift-right restores the CSR row starts in place.
         for (id, e) in edges.iter().enumerate() {
-            let oc = &mut out_cursor[e.from as usize];
+            let oc = &mut out_off[e.from as usize];
             out_adj[*oc as usize] = id as u32;
             *oc += 1;
-            let ic = &mut in_cursor[e.to as usize];
+            let ic = &mut in_off[e.to as usize];
             in_adj[*ic as usize] = id as u32;
             *ic += 1;
+        }
+        for v in (1..=n).rev() {
+            out_off[v] = out_off[v - 1];
+            in_off[v] = in_off[v - 1];
+        }
+        if n > 0 {
+            out_off[0] = 0;
+            in_off[0] = 0;
         }
         DiGraph {
             n,

@@ -24,7 +24,8 @@
 // expects are confined to #[cfg(test)] code (internal invariants use
 // let-else + unreachable!, which documents *why* they cannot fire).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-// All unsafe lives in `slab` (the mmap/zero-copy substrate); every
+// All unsafe lives in `slab` (the mmap/zero-copy substrate) and
+// `dense::simd` (std::arch kernels + checked f64 downcasts); every
 // unsafe operation there must sit in an explicit block with a SAFETY
 // comment, even inside unsafe fns.
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -46,9 +47,11 @@ pub mod traversal;
 pub mod unionfind;
 
 pub use bitmatrix::BitMatrix;
-pub use dense::SemiMatrix;
+pub use dense::{
+    select_kernel, simd_active, BlockedKernel, MinPlusKernel, NaiveKernel, SemiMatrix, SimdKernel,
+};
 pub use digraph::{DiGraph, Edge};
 pub use error::SpsepError;
 pub use order::NodeOrder;
-pub use slab::{Pod, Slab, SlabBytes, Store};
+pub use slab::{AlignedVec, Pod, Slab, SlabBytes, Store};
 pub use semiring::{Boolean, Bottleneck, MaxPlus, Reliability, Semiring, Tropical, TropicalInt};

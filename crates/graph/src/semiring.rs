@@ -23,6 +23,30 @@
 
 use std::fmt::Debug;
 
+/// How a semiring's `(combine, extend)` pair maps onto `f64` vector
+/// lanes, for the explicit-SIMD kernels in [`crate::dense::simd`].
+///
+/// A semiring may advertise a lane algebra only when its weight domain
+/// is `f64` **and** its scalar `combine`/`extend` are exactly the
+/// operations named here (including tie and NaN behavior: `MinX`
+/// combine is literally `if a <= b { a } else { b }`, `MaxX` is
+/// `if a >= b { a } else { b }`, `..Min` extend is
+/// `if a <= b { a } else { b }`) — the SIMD kernels reproduce those
+/// scalar semantics bit for bit with compare + blend, so a lying
+/// descriptor would silently change result bits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LaneAlgebra {
+    /// `combine = min`, `extend = +` ([`Tropical`] shortest paths).
+    MinAdd,
+    /// `combine = max`, `extend = +` ([`MaxPlus`] longest paths).
+    MaxAdd,
+    /// `combine = max`, `extend = min` ([`Bottleneck`] widest paths).
+    MaxMin,
+    /// `combine = max`, `extend = ×` ([`Reliability`] best-probability
+    /// paths).
+    MaxMul,
+}
+
 /// An idempotent semiring describing a path-weight algebra.
 ///
 /// Implementors are zero-sized tag types; the weight domain is the
@@ -41,8 +65,10 @@ use std::fmt::Debug;
 /// assert!(!Boolean::extend(true, false));
 /// ```
 pub trait Semiring: Copy + Clone + Send + Sync + Debug + 'static {
-    /// The weight domain.
-    type W: Copy + PartialEq + Send + Sync + Debug;
+    /// The weight domain. (`'static` so the SIMD dispatch layer can
+    /// recognize `f64` domains by `TypeId` — every practical weight
+    /// domain is a primitive anyway.)
+    type W: Copy + PartialEq + Send + Sync + Debug + 'static;
 
     /// Identity of [`Self::combine`]: the weight of "no path at all".
     fn zero() -> Self::W;
@@ -97,6 +123,15 @@ pub trait Semiring: Copy + Clone + Send + Sync + Debug + 'static {
     #[inline]
     fn is_selective() -> bool {
         false
+    }
+
+    /// The `f64` lane algebra of this semiring, if any — `None`
+    /// (default) keeps every kernel on the scalar path. Overriding this
+    /// is the single opt-in a semiring needs for the SIMD kernels; see
+    /// [`LaneAlgebra`] for the exactness contract.
+    #[inline]
+    fn lane_algebra() -> Option<LaneAlgebra> {
+        None
     }
 }
 
@@ -167,6 +202,11 @@ impl Semiring for Tropical {
     #[inline]
     fn is_selective() -> bool {
         true
+    }
+
+    #[inline]
+    fn lane_algebra() -> Option<LaneAlgebra> {
+        Some(LaneAlgebra::MinAdd)
     }
 }
 
@@ -320,6 +360,11 @@ impl Semiring for MaxPlus {
     fn is_selective() -> bool {
         true
     }
+
+    #[inline]
+    fn lane_algebra() -> Option<LaneAlgebra> {
+        Some(LaneAlgebra::MaxAdd)
+    }
 }
 
 /// Widest ("bottleneck") paths: `(ℝ ∪ {±∞}, max, min, -∞, +∞)`.
@@ -380,6 +425,11 @@ impl Semiring for Bottleneck {
     fn is_selective() -> bool {
         true
     }
+
+    #[inline]
+    fn lane_algebra() -> Option<LaneAlgebra> {
+        Some(LaneAlgebra::MaxMin)
+    }
 }
 
 /// Most-reliable paths: `([0,1], max, ×, 0, 1)`.
@@ -434,6 +484,11 @@ impl Semiring for Reliability {
     #[inline]
     fn is_selective() -> bool {
         true
+    }
+
+    #[inline]
+    fn lane_algebra() -> Option<LaneAlgebra> {
+        Some(LaneAlgebra::MaxMul)
     }
 }
 
@@ -566,6 +621,56 @@ mod tests {
         check_selective::<MaxPlus>(&[0.0, 1.0, -2.5, f64::NEG_INFINITY]);
         check_selective::<Bottleneck>(&[0.0, -2.5, f64::NEG_INFINITY, f64::INFINITY]);
         check_selective::<Reliability>(&[0.0, 0.25, 0.5, 1.0]);
+    }
+
+    /// Every advertised lane algebra must tell the truth: the scalar
+    /// `combine`/`extend` must equal the named lane operations (with the
+    /// keep-`a`-on-ties convention) bit for bit, on a hostile sample set
+    /// including ±0.0, ±∞ and denormals. The SIMD kernels rely on this.
+    #[test]
+    fn lane_algebra_descriptors_match_scalar_semantics() {
+        fn check<S: Semiring<W = f64>>() {
+            let alg = S::lane_algebra().expect("descriptor expected");
+            let samples = [
+                0.0,
+                -0.0,
+                1.0,
+                -2.5,
+                7.25,
+                f64::MIN_POSITIVE / 8.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ];
+            for &a in &samples {
+                for &b in &samples {
+                    let (c, e) = match alg {
+                        LaneAlgebra::MinAdd => (if a <= b { a } else { b }, a + b),
+                        LaneAlgebra::MaxAdd => (if a >= b { a } else { b }, a + b),
+                        LaneAlgebra::MaxMin => {
+                            (if a >= b { a } else { b }, if a <= b { a } else { b })
+                        }
+                        LaneAlgebra::MaxMul => (if a >= b { a } else { b }, a * b),
+                    };
+                    assert_eq!(
+                        S::combine(a, b).to_bits(),
+                        c.to_bits(),
+                        "combine({a:?}, {b:?}) under {alg:?}"
+                    );
+                    let ext = S::extend(a, b);
+                    assert_eq!(
+                        ext.to_bits(),
+                        e.to_bits(),
+                        "extend({a:?}, {b:?}) under {alg:?} ({ext} vs {e})"
+                    );
+                }
+            }
+        }
+        check::<Tropical>();
+        check::<MaxPlus>();
+        check::<Bottleneck>();
+        check::<Reliability>();
+        assert_eq!(TropicalInt::lane_algebra(), None, "i64 domain is scalar");
+        assert_eq!(Boolean::lane_algebra(), None, "bitmatrix covers booleans");
     }
 
     #[test]

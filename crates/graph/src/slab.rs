@@ -45,11 +45,200 @@
 use std::fmt;
 use std::fs::File;
 use std::marker::PhantomData;
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 use crate::digraph::Edge;
 use crate::error::SpsepError;
+
+/// Cache-line alignment of [`AlignedVec`] allocations: one x86 cache
+/// line, and the natural alignment of an AVX-512 register, so every
+/// matrix row that starts at a multiple of 8 elements begins on an
+/// aligned line.
+pub const CACHE_LINE: usize = 64;
+
+/// A growable buffer of `Copy` elements whose base address is always
+/// [`CACHE_LINE`]-aligned (64 bytes).
+///
+/// [`SlabBytes`] gives snapshot readers an 8-aligned substrate; this is
+/// the write-side counterpart for the dense kernels: `SemiMatrix` routes
+/// its row storage through it so SIMD loads start from cache-line-aligned
+/// rows and a row tile never straddles an extra line. The API is the
+/// subset of `Vec` the kernels use (`clear`/`resize`/`capacity` plus
+/// slice access through `Deref`); elements must be `Copy`, so there are
+/// no drop obligations.
+pub struct AlignedVec<T: Copy> {
+    ptr: std::ptr::NonNull<T>,
+    cap: usize,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively (no aliasing); it
+// is a Vec with a stricter alignment, so Send/Sync follow T's.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+// SAFETY: see above.
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Empty buffer; allocates nothing until the first `resize`.
+    pub const fn new() -> Self {
+        AlignedVec {
+            ptr: std::ptr::NonNull::dangling(),
+            cap: 0,
+            len: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> std::alloc::Layout {
+        let bytes = cap
+            .checked_mul(std::mem::size_of::<T>())
+            .unwrap_or_else(|| panic!("AlignedVec capacity overflow: {cap} elements"));
+        match std::alloc::Layout::from_size_align(bytes, CACHE_LINE.max(std::mem::align_of::<T>()))
+        {
+            Ok(l) => l,
+            // 64 is a power of two and the size was overflow-checked.
+            Err(_) => unreachable!("valid AlignedVec layout"),
+        }
+    }
+
+    /// Grow the allocation to hold at least `min_cap` elements,
+    /// preserving the first `len` elements. No-op when already large
+    /// enough.
+    fn grow_to(&mut self, min_cap: usize) {
+        if min_cap <= self.cap || std::mem::size_of::<T>() == 0 {
+            return;
+        }
+        let new_cap = min_cap.max(self.cap * 2);
+        let new_layout = Self::layout(new_cap);
+        // SAFETY: layout has non-zero size (size_of::<T> > 0 and
+        // new_cap >= min_cap > cap >= 0, so new_cap >= 1).
+        let raw = unsafe { std::alloc::alloc(new_layout) };
+        let Some(new_ptr) = std::ptr::NonNull::new(raw.cast::<T>()) else {
+            std::alloc::handle_alloc_error(new_layout);
+        };
+        if self.cap > 0 {
+            // SAFETY: both pointers are valid for `len <= cap <= new_cap`
+            // elements and belong to distinct allocations.
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), new_ptr.as_ptr(), self.len);
+                std::alloc::dealloc(self.ptr.as_ptr().cast::<u8>(), Self::layout(self.cap));
+            }
+        }
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Drop all elements (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Resize to `n` elements, filling any new tail slots with `value`.
+    pub fn resize(&mut self, n: usize, value: T) {
+        self.grow_to(n);
+        if n > self.len {
+            // SAFETY: `grow_to` guaranteed capacity >= n; slots
+            // `len..n` are in bounds of the allocation.
+            unsafe {
+                for i in self.len..n {
+                    self.ptr.as_ptr().add(i).write(value);
+                }
+            }
+        }
+        self.len = n;
+    }
+
+    /// Fresh buffer holding a copy of `src`.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = AlignedVec::new();
+        v.grow_to(src.len());
+        if !src.is_empty() {
+            // SAFETY: capacity >= src.len(), distinct allocations.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), v.ptr.as_ptr(), src.len());
+            }
+        }
+        v.len = src.len();
+        v
+    }
+
+    /// The elements as a slice. The base pointer is 64-byte aligned.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: `ptr` is valid for `len` initialized elements
+        // (resize/from_slice wrote them); dangling-but-aligned when
+        // len == 0, which from_raw_parts permits.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: see `as_slice`; `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.cap > 0 && std::mem::size_of::<T>() > 0 {
+            // SAFETY: the allocation was made with exactly this layout;
+            // T: Copy, so no element drops are owed.
+            unsafe {
+                std::alloc::dealloc(self.ptr.as_ptr().cast::<u8>(), Self::layout(self.cap));
+            }
+        }
+    }
+}
+
+impl<T: Copy> Default for AlignedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedVec")
+            .field("len", &self.len)
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
 
 /// Marker for plain-old-data element types that may be reinterpreted
 /// from raw snapshot bytes.
@@ -489,6 +678,48 @@ mod tests {
 
     fn arc(bytes: Vec<u8>) -> Arc<SlabBytes> {
         Arc::new(SlabBytes::from_vec(bytes))
+    }
+
+    #[test]
+    fn aligned_vec_base_is_cache_line_aligned_across_growth() {
+        let mut v = AlignedVec::<f64>::new();
+        assert!(v.is_empty());
+        for n in [1usize, 7, 8, 63, 64, 65, 1024] {
+            v.resize(n, 1.5);
+            assert_eq!(v.as_slice().as_ptr() as usize % CACHE_LINE, 0, "n={n}");
+            assert_eq!(v.len(), n);
+            assert!(v.capacity() >= n);
+            assert!(v.iter().all(|&x| x == 1.5));
+        }
+    }
+
+    #[test]
+    fn aligned_vec_resize_preserves_prefix_and_fills_tail() {
+        let mut v = AlignedVec::<u32>::new();
+        v.resize(4, 9);
+        v.as_mut_slice().copy_from_slice(&[1, 2, 3, 4]);
+        v.resize(7, 0);
+        assert_eq!(&v[..], &[1, 2, 3, 4, 0, 0, 0]);
+        v.clear();
+        assert_eq!(v.len(), 0);
+        let cap = v.capacity();
+        v.resize(5, 8);
+        assert_eq!(v.capacity(), cap, "clear must keep the allocation");
+        assert_eq!(&v[..], &[8, 8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn aligned_vec_clone_and_from_slice_copy_payload() {
+        let v = AlignedVec::from_slice(&[0.5f64, -0.0, f64::INFINITY]);
+        let c = v.clone();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+        for (a, b) in v.iter().zip(c.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let e = AlignedVec::<f64>::from_slice(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.capacity(), 0);
     }
 
     #[test]
