@@ -17,10 +17,12 @@
 //!     e20 --mmap-out BENCH_mmap.json           # v1-decode vs v2-mmap load
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e21 --simd-out BENCH_simd.json           # scalar-vs-SIMD kernels
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e22 --obs-out BENCH_obs.json             # telemetry overhead
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 e17 e18 e19 e20 e21 check
+//! e15 e16 e17 e18 e19 e20 e21 e22 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
@@ -34,18 +36,20 @@
 //! <path>` / `--mmap-in <path>` for E20's `spsep-mmap-bench/v1`
 //! v1-decode vs v2-mmap load benchmark; `--simd-out
 //! <path>` / `--simd-in <path>` for E21's `spsep-simd-bench/v1`
-//! scalar-vs-SIMD kernel benchmark; `--smoke` shrinks
-//! E16/E17/E18/E19/E20/E21 to CI-sized instances.
+//! scalar-vs-SIMD kernel benchmark; `--obs-out <path>` / `--obs-in
+//! <path>` for E22's `spsep-obs-bench/v1` telemetry-overhead
+//! benchmark; `--smoke` shrinks E16/E17/E18/E19/E20/E21/E22 to
+//! CI-sized instances.
 //!
 //! Unknown experiment ids and flags are reported with the valid set —
 //! never a bare panic.
 
-use spsep_bench::{amortize, experiments, kernels, mmap, phases, serve, simd};
+use spsep_bench::{amortize, experiments, kernels, mmap, obs, phases, serve, simd};
 
 /// Every experiment id `tables` understands, in presentation order.
 const VALID_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "fig1", "fig2", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "check", "all",
+    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "check", "all",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -54,7 +58,7 @@ fn fail(msg: &str) -> ! {
         "usage: tables [ids...] [--smoke] [--kernels-out p] [--phases-out p] \
          [--phases-in p] [--amortize-out p] [--amortize-in p] \
          [--serve-out p] [--serve-in p] [--mmap-out p] [--mmap-in p] \
-         [--simd-out p] [--simd-in p]\n\
+         [--simd-out p] [--simd-in p] [--obs-out p] [--obs-in p]\n\
          valid ids: {}",
         VALID_IDS.join(" ")
     );
@@ -91,6 +95,8 @@ fn main() {
     let mut mmap_in: Option<String> = None;
     let mut simd_out: Option<String> = None;
     let mut simd_in: Option<String> = None;
+    let mut obs_out: Option<String> = None;
+    let mut obs_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -107,6 +113,8 @@ fn main() {
             "--mmap-in" => mmap_in = Some(flag_value(&mut it, "--mmap-in")),
             "--simd-out" => simd_out = Some(flag_value(&mut it, "--simd-out")),
             "--simd-in" => simd_in = Some(flag_value(&mut it, "--simd-in")),
+            "--obs-out" => obs_out = Some(flag_value(&mut it, "--obs-out")),
+            "--obs-in" => obs_in = Some(flag_value(&mut it, "--obs-in")),
             flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
             id if !VALID_IDS.contains(&id) => fail(&format!("unknown experiment id '{id}'")),
             _ => args.push(a),
@@ -310,6 +318,32 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("simd artifact failed validation: {e}")));
             if let Some(path) = &simd_out {
                 write_or_fail(path, &json, "simd artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
+        }
+    }
+    if want("e22") || obs_out.is_some() || obs_in.is_some() {
+        if let Some(path) = &obs_in {
+            let json = read_or_fail(path, "obs artifact");
+            let records = obs::read_obs_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "{hr}\nE22 — telemetry-plane overhead from {path} ({} entries):\n\n{}",
+                records.len(),
+                obs::render_obs_table(&records)
+            );
+        } else {
+            let (report, records) = obs::e22_telemetry_overhead(smoke);
+            println!("{hr}\n{report}");
+            assert!(
+                records.iter().all(|r| r.scrape_valid),
+                "GET /metrics exposition failed the Prometheus validator"
+            );
+            let json = obs::obs_json(&records);
+            let entries = obs::validate_obs_json(&json)
+                .unwrap_or_else(|e| fail(&format!("obs artifact failed validation: {e}")));
+            if let Some(path) = &obs_out {
+                write_or_fail(path, &json, "obs artifact");
                 eprintln!("[tables] wrote {path} ({entries} entries)");
             }
         }

@@ -10,7 +10,9 @@ pub mod experiments;
 pub mod families;
 mod jsonv;
 pub mod kernels;
+pub mod loadrep;
 pub mod mmap;
+pub mod obs;
 pub mod phases;
 pub mod serve;
 pub mod simd;

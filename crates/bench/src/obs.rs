@@ -1,0 +1,466 @@
+//! E22 — telemetry-plane overhead, plus the `BENCH_obs.json` artifact
+//! (schema `spsep-obs-bench/v1`).
+//!
+//! The telemetry plane (DESIGN.md §14) claims its hot-path cost — a
+//! handful of relaxed atomic adds plus one bounded flight-recorder
+//! append per request — is small enough to leave on in production:
+//! ≤ 5% of sustained QPS. E22 measures that claim honestly: the *same
+//! binary* serves the same deterministic open-loop load twice, once
+//! with the runtime telemetry switch off and once with it on (plus the
+//! HTTP metrics side port bound and scraped), and the artifact records
+//! both throughputs and the derived overhead. A compiled-out
+//! comparison also exists (`spsep-serve` built with
+//! `--no-default-features` dead-codes the recording calls); CI compiles
+//! that configuration, but the committed numbers compare runtime
+//! on/off so both legs share one binary and one process.
+//!
+//! While the telemetry leg runs, the scrape leg also exercises
+//! `GET /metrics` end-to-end: the exposition must pass the strict
+//! Prometheus validator, and the scraped `spsep_served_total` must
+//! cover every request the harness saw succeed.
+
+use crate::jsonv::{field, parse_json, Json};
+use crate::{fmt_f, Table};
+use rand::SeedableRng;
+use spsep_core::{Algorithm, Oracle};
+use spsep_pram::Metrics;
+use spsep_separator::{builders, RecursionLimits};
+use spsep_serve::{run_load, LoadConfig, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One worker count measured with telemetry off and on.
+pub struct ObsRecord {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Offered arrival rate, requests per second.
+    pub rate: f64,
+    /// Load duration per leg, seconds.
+    pub duration_s: f64,
+    /// Sustained throughput with the runtime telemetry switch off.
+    pub qps_off: f64,
+    /// Sustained throughput with telemetry on (registry + flight
+    /// recorder recording, HTTP side port bound).
+    pub qps_on: f64,
+    /// `(qps_off − qps_on) / qps_off × 100`; negative when the "on"
+    /// leg was faster (noise).
+    pub overhead_pct: f64,
+    /// Client-side p99 with telemetry off, µs.
+    pub p99_off_us: f64,
+    /// Client-side p99 with telemetry on, µs.
+    pub p99_on_us: f64,
+    /// Whether the `GET /metrics` scrape passed the strict validator.
+    pub scrape_valid: bool,
+    /// Samples in the scraped exposition.
+    pub scrape_samples: u64,
+    /// `spsep_served_total` as scraped after the "on" leg.
+    pub served_total: u64,
+}
+
+/// Compute the overhead with the sign convention above.
+fn overhead_pct(qps_off: f64, qps_on: f64) -> f64 {
+    if qps_off <= 0.0 {
+        return 0.0;
+    }
+    (qps_off - qps_on) / qps_off * 100.0
+}
+
+/// One serve-then-load leg. Returns `(qps, p99_us, scrape)` where
+/// `scrape` is the exposition text fetched over the HTTP side port
+/// (telemetry leg only).
+fn run_leg(
+    oracle: &Arc<Oracle>,
+    workers: usize,
+    telemetry: bool,
+    rate: f64,
+    secs: f64,
+    seed: u64,
+) -> (f64, f64, Option<String>) {
+    let server = Server::bind(
+        Arc::clone(oracle),
+        ServeConfig {
+            workers,
+            telemetry,
+            metrics_addr: telemetry.then(|| "127.0.0.1:0".to_string()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("e22: bind failed: {e}"));
+    let addr = server.local_addr().unwrap_or_else(|e| panic!("e22: {e}"));
+    let metrics_addr = server.metrics_addr();
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let report = run_load(&LoadConfig {
+        addr: addr.to_string(),
+        rate,
+        duration: Duration::from_secs_f64(secs),
+        connections: 4,
+        n: oracle.n(),
+        zipf_theta: 0.9,
+        seed,
+        ..LoadConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("e22: load failed: {e}"));
+
+    let scrape = metrics_addr.and_then(http_scrape);
+    handle.shutdown();
+    daemon
+        .join()
+        .unwrap_or_else(|_| panic!("e22: daemon panicked"))
+        .unwrap_or_else(|e| panic!("e22: daemon failed: {e}"));
+    (report.qps, report.latency_us[1], scrape)
+}
+
+/// Fetch `GET /metrics` over the side port with plain sockets — the
+/// same path an external Prometheus scraper takes.
+fn http_scrape(addr: std::net::SocketAddr) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .ok()?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    if !response.starts_with("HTTP/1.1 200") {
+        return None;
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+}
+
+/// E22 — measure the telemetry overhead at each worker count.
+///
+/// `smoke` shrinks the instance and the load so CI exercises the full
+/// pipeline (off leg → on leg → scrape → validate) in seconds.
+pub fn e22_telemetry_overhead(smoke: bool) -> (String, Vec<ObsRecord>) {
+    let dims = if smoke { [8, 8] } else { [12, 12] };
+    let (rate, secs) = if smoke { (600.0, 0.4) } else { (2000.0, 1.5) };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+    let (g, _) = spsep_graph::generators::grid(&dims, &mut rng);
+    let tree = builders::grid_tree(&dims, RecursionLimits::default());
+    let oracle = Arc::new(
+        Oracle::prepare(g, tree, Algorithm::LeavesUp, &Metrics::new())
+            .unwrap_or_else(|e| panic!("e22: prepare failed: {e}")),
+    );
+
+    let mut records = Vec::new();
+    for workers in [1usize, 4] {
+        let (qps_off, p99_off_us, _) =
+            run_leg(&oracle, workers, false, rate, secs, 0xe22 + workers as u64);
+        let (qps_on, p99_on_us, scrape) =
+            run_leg(&oracle, workers, true, rate, secs, 0xe22 + workers as u64);
+        let text = scrape.unwrap_or_else(|| {
+            panic!("e22: GET /metrics scrape failed at workers={workers}")
+        });
+        let scrape_valid = spsep_telemetry::validate_prometheus_text(&text).is_ok();
+        let samples = spsep_telemetry::parse_samples(&text)
+            .map(|(s, _)| s)
+            .unwrap_or_default();
+        let served_total = samples
+            .iter()
+            .find(|s| s.name == "spsep_served_total")
+            .map_or(0, |s| s.value as u64);
+        records.push(ObsRecord {
+            workers,
+            rate,
+            duration_s: secs,
+            qps_off,
+            qps_on,
+            overhead_pct: overhead_pct(qps_off, qps_on),
+            p99_off_us,
+            p99_on_us,
+            scrape_valid,
+            scrape_samples: samples.len() as u64,
+            served_total,
+        });
+    }
+
+    let mut out = format!(
+        "E22 — telemetry-plane overhead (grid {dims:?}, {rate:.0} req/s \
+         offered for {secs}s per leg, 4 connections, zipf 0.9): the same \
+         binary serves the same deterministic load with the runtime \
+         telemetry switch off, then on with the HTTP side port scraped \
+         and validated. Claim: overhead <= 5% of QPS.\n\n",
+    );
+    out.push_str(&render_obs_table(&records));
+    (out, records)
+}
+
+/// Render the E22 view.
+pub fn render_obs_table(records: &[ObsRecord]) -> String {
+    let mut t = Table::new(&[
+        "workers",
+        "qps_off",
+        "qps_on",
+        "overhead%",
+        "p99_off_us",
+        "p99_on_us",
+        "scrape",
+        "samples",
+    ]);
+    for r in records {
+        t.row(vec![
+            r.workers.to_string(),
+            format!("{:.0}", r.qps_off),
+            format!("{:.0}", r.qps_on),
+            format!("{:+.2}", r.overhead_pct),
+            fmt_f(r.p99_off_us),
+            fmt_f(r.p99_on_us),
+            if r.scrape_valid { "valid" } else { "INVALID" }.to_string(),
+            r.scrape_samples.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Serialize records as `spsep-obs-bench/v1` JSON.
+pub fn obs_json(records: &[ObsRecord]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut s = String::from("{\n  \"schema\": \"spsep-obs-bench/v1\",\n");
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"rate\": {:.1}, \"duration_s\": {:.3}, \
+             \"qps_off\": {:.2}, \"qps_on\": {:.2}, \"overhead_pct\": {:.4}, \
+             \"p99_off_us\": {:.2}, \"p99_on_us\": {:.2}, \
+             \"scrape_valid\": {}, \"scrape_samples\": {}, \
+             \"served_total\": {}}}{}\n",
+            r.workers,
+            r.rate,
+            r.duration_s,
+            r.qps_off,
+            r.qps_on,
+            r.overhead_pct,
+            r.p99_off_us,
+            r.p99_on_us,
+            r.scrape_valid,
+            r.scrape_samples,
+            r.served_total,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parse a validated `spsep-obs-bench/v1` document back into records —
+/// the `tables e22 --obs-in` path that renders the committed artifact
+/// without re-measuring.
+pub fn read_obs_json(json: &str) -> Result<Vec<ObsRecord>, String> {
+    validate_obs_json(json)?;
+    let Json::Obj(top) = parse_json(json)? else {
+        unreachable!("validated above")
+    };
+    let Json::Arr(entries) = field(&top, "entries")? else {
+        unreachable!("validated above")
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let Json::Obj(e) = e else {
+            unreachable!("validated above")
+        };
+        let num = |key: &str| -> f64 {
+            match field(e, key) {
+                Ok(Json::Num(v)) => *v,
+                _ => unreachable!("validated above"),
+            }
+        };
+        let valid = matches!(field(e, "scrape_valid"), Ok(Json::Bool(true)));
+        out.push(ObsRecord {
+            workers: num("workers") as usize,
+            rate: num("rate"),
+            duration_s: num("duration_s"),
+            qps_off: num("qps_off"),
+            qps_on: num("qps_on"),
+            overhead_pct: num("overhead_pct"),
+            p99_off_us: num("p99_off_us"),
+            p99_on_us: num("p99_on_us"),
+            scrape_valid: valid,
+            scrape_samples: num("scrape_samples") as u64,
+            served_total: num("served_total") as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Validate a `spsep-obs-bench/v1` document. Returns the entry count.
+///
+/// Beyond structure, this enforces the honesty invariants: both
+/// throughputs positive, `overhead_pct` consistent with the recorded
+/// throughputs (recomputed to within 0.01 points — the artifact cannot
+/// claim an overhead its own numbers contradict), a validated scrape
+/// with a non-trivial sample count, and served requests covering the
+/// scrape.
+pub fn validate_obs_json(json: &str) -> Result<usize, String> {
+    let Json::Obj(top) = parse_json(json)? else {
+        return Err("top level must be an object".into());
+    };
+    match field(&top, "schema")? {
+        Json::Str(s) if s == "spsep-obs-bench/v1" => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    let Json::Num(cores) = field(&top, "host_cores")? else {
+        return Err("`host_cores` must be a number".into());
+    };
+    if *cores < 1.0 {
+        return Err("`host_cores` must be >= 1".into());
+    }
+    let Json::Arr(entries) = field(&top, "entries")? else {
+        return Err("`entries` must be an array".into());
+    };
+    if entries.is_empty() {
+        return Err("`entries` is empty".into());
+    }
+    for (idx, e) in entries.iter().enumerate() {
+        let Json::Obj(e) = e else {
+            return Err(format!("entry {idx} is not an object"));
+        };
+        let ctx = |msg: &str| format!("entry {idx}: {msg}");
+        let num = |key: &str| -> Result<f64, String> {
+            match field(e, key).map_err(|m| ctx(&m))? {
+                Json::Num(v) if v.is_finite() => Ok(*v),
+                _ => Err(ctx(&format!("`{key}` must be a finite number"))),
+            }
+        };
+        if num("workers")? < 1.0 {
+            return Err(ctx("`workers` must be >= 1"));
+        }
+        for key in ["rate", "duration_s", "qps_off", "qps_on"] {
+            if num(key)? <= 0.0 {
+                return Err(ctx(&format!("`{key}` must be positive")));
+            }
+        }
+        let (qps_off, qps_on) = (num("qps_off")?, num("qps_on")?);
+        let claimed = num("overhead_pct")?;
+        let actual = overhead_pct(qps_off, qps_on);
+        if (claimed - actual).abs() > 0.01 {
+            return Err(ctx(&format!(
+                "`overhead_pct` is {claimed:.4} but the recorded throughputs \
+                 give {actual:.4}"
+            )));
+        }
+        for key in ["p99_off_us", "p99_on_us"] {
+            if num(key)? < 0.0 {
+                return Err(ctx(&format!("`{key}` must be non-negative")));
+            }
+        }
+        match field(e, "scrape_valid").map_err(|m| ctx(&m))? {
+            Json::Bool(true) => {}
+            Json::Bool(false) => {
+                return Err(ctx("`scrape_valid` is false: the exposition failed \
+                     the Prometheus validator"))
+            }
+            _ => return Err(ctx("`scrape_valid` must be a boolean")),
+        }
+        if num("scrape_samples")? < 10.0 {
+            return Err(ctx("`scrape_samples` must be >= 10 (a real exposition \
+                 has dozens of samples)"));
+        }
+        if num("served_total")? < 1.0 {
+            return Err(ctx("`served_total` must be >= 1"));
+        }
+    }
+    Ok(entries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ObsRecord> {
+        let mk = |workers: usize, qps_off: f64, qps_on: f64| ObsRecord {
+            workers,
+            rate: 2000.0,
+            duration_s: 1.5,
+            qps_off,
+            qps_on,
+            overhead_pct: overhead_pct(qps_off, qps_on),
+            p99_off_us: 850.0,
+            p99_on_us: 880.0,
+            scrape_valid: true,
+            scrape_samples: 140,
+            served_total: 2900,
+        };
+        vec![mk(1, 1900.0, 1860.0), mk(4, 1980.0, 1975.0)]
+    }
+
+    #[test]
+    fn writer_output_validates_and_roundtrips() {
+        let rows = sample();
+        let json = obs_json(&rows);
+        assert_eq!(validate_obs_json(&json), Ok(2));
+        let back = read_obs_json(&json).unwrap();
+        assert_eq!(back.len(), rows.len());
+        for (a, b) in rows.iter().zip(&back) {
+            assert_eq!(a.workers, b.workers);
+            assert!((a.qps_off - b.qps_off).abs() < 1e-6);
+            assert!((a.overhead_pct - b.overhead_pct).abs() < 1e-3);
+            assert_eq!(a.scrape_samples, b.scrape_samples);
+        }
+        let view = render_obs_table(&back);
+        assert!(view.contains("overhead%"), "{view}");
+        assert!(view.contains("valid"), "{view}");
+    }
+
+    #[test]
+    fn validator_rejects_dishonest_overhead() {
+        assert!(validate_obs_json("").is_err());
+        assert!(validate_obs_json("{\"schema\": \"other/v9\"}").is_err());
+        let good = obs_json(&sample());
+        assert!(validate_obs_json(&good.replace("spsep-obs-bench/v1", "x")).is_err());
+
+        // A claimed overhead the recorded throughputs contradict.
+        let mut rows = sample();
+        rows[0].overhead_pct = 0.0;
+        let err = validate_obs_json(&obs_json(&rows)).unwrap_err();
+        assert!(err.contains("overhead_pct"), "{err}");
+
+        // An invalid scrape must never be committed.
+        let mut rows = sample();
+        rows[1].scrape_valid = false;
+        assert!(validate_obs_json(&obs_json(&rows)).is_err());
+
+        // A trivial exposition cannot back the claim.
+        let mut rows = sample();
+        rows[0].scrape_samples = 2;
+        assert!(validate_obs_json(&obs_json(&rows)).is_err());
+    }
+
+    #[test]
+    fn committed_artifact_validates_and_stays_under_the_claim() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+        let json =
+            std::fs::read_to_string(path).expect("BENCH_obs.json committed at repo root");
+        let entries =
+            validate_obs_json(&json).expect("committed artifact is valid spsep-obs-bench/v1");
+        assert_eq!(entries, 2, "one row per measured worker count");
+        let records = read_obs_json(&json).unwrap();
+        for r in &records {
+            assert!(
+                r.overhead_pct <= 5.0,
+                "workers={}: committed overhead {:.2}% exceeds the 5% claim",
+                r.workers,
+                r.overhead_pct
+            );
+        }
+    }
+
+    #[test]
+    fn e22_smoke_runs_both_legs_and_scrapes() {
+        let (report, records) = e22_telemetry_overhead(true);
+        assert_eq!(records.len(), 2, "{report}");
+        for r in &records {
+            assert!(r.scrape_valid, "workers={}: scrape invalid", r.workers);
+            assert!(r.served_total > 0, "workers={}", r.workers);
+        }
+        let json = obs_json(&records);
+        assert_eq!(validate_obs_json(&json), Ok(2));
+    }
+}

@@ -148,8 +148,10 @@ pub fn e19_serve_latency(smoke: bool) -> (String, Vec<ServeRecord>) {
             errors: report.errors,
             served: stats.served,
             shed: stats.shed,
-            queue_wait_us: stats.queue_wait_us,
-            service_us: stats.service_us,
+            // The wire now carries p50/p99/p999; the v1 artifact schema
+            // keeps its original two-percentile shape.
+            queue_wait_us: [stats.queue_wait_us[0], stats.queue_wait_us[1]],
+            service_us: [stats.service_us[0], stats.service_us[1]],
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
             cache_shards: stats.cache_shards as u64,

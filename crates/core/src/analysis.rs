@@ -7,7 +7,7 @@
 use crate::AbsorbingCycle;
 use crate::Algorithm;
 use rayon::prelude::*;
-use spsep_graph::{DiGraph, Edge, Semiring};
+use spsep_graph::{DiGraph, Edge, Semiring, SpsepError};
 use spsep_pram::Report;
 use spsep_separator::SepTree;
 
@@ -298,6 +298,122 @@ pub fn work_ledger(
     WorkLedger { algo, entries }
 }
 
+// ---------------------------------------------------------------------
+// Ledger sidecar (spsep-ledger/v1)
+// ---------------------------------------------------------------------
+
+fn algo_label(algo: Algorithm) -> u32 {
+    match algo {
+        Algorithm::LeavesUp => 41,
+        Algorithm::PathDoubling => 43,
+        Algorithm::SharedDoubling => 44,
+    }
+}
+
+fn algo_from_label(label: u32) -> Result<Algorithm, SpsepError> {
+    match label {
+        41 => Ok(Algorithm::LeavesUp),
+        43 => Ok(Algorithm::PathDoubling),
+        44 => Ok(Algorithm::SharedDoubling),
+        other => Err(SpsepError::parse(format!("unknown algorithm label {other}"))),
+    }
+}
+
+/// Serialize a ledger as the `spsep-ledger/v1` sidecar text the CLI
+/// writes next to a prepared snapshot: one header line, then one
+/// tab-separated line per entry. The measured side of the envelope
+/// check exists only in the preparing process, so this is how a later
+/// `serve --listen` of the snapshot learns the verdict it should
+/// export on `/metrics`.
+pub fn ledger_to_text(ledger: &WorkLedger) -> String {
+    let mut out = format!("spsep-ledger/v1 algo={}\n", algo_label(ledger.algo));
+    for e in &ledger.entries {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            e.label,
+            e.measured,
+            e.predicted,
+            e.slack,
+            if e.within { 1 } else { 0 }
+        ));
+    }
+    out
+}
+
+/// Parse an `spsep-ledger/v1` sidecar produced by [`ledger_to_text`].
+/// The `ratio` field is recomputed from `measured`/`predicted`.
+///
+/// # Errors
+///
+/// [`SpsepError::Parse`] on any header, field-count, or numeric
+/// violation.
+pub fn ledger_from_text(text: &str) -> Result<WorkLedger, SpsepError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SpsepError::parse("empty ledger sidecar"))?;
+    let algo = header
+        .strip_prefix("spsep-ledger/v1 algo=")
+        .ok_or_else(|| SpsepError::parse_at(1, format!("bad ledger header {header:?}")))?
+        .trim()
+        .parse::<u32>()
+        .map_err(|_| SpsepError::parse_at(1, "bad algorithm label"))
+        .and_then(algo_from_label)?;
+    let mut entries = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(SpsepError::parse_at(
+                lineno,
+                format!("expected 5 tab-separated fields, got {}", fields.len()),
+            ));
+        }
+        let measured: u64 = fields[1]
+            .parse()
+            .map_err(|_| SpsepError::parse_at(lineno, "bad measured"))?;
+        let predicted: u64 = fields[2]
+            .parse()
+            .map_err(|_| SpsepError::parse_at(lineno, "bad predicted"))?;
+        let slack: f64 = fields[3]
+            .parse()
+            .map_err(|_| SpsepError::parse_at(lineno, "bad slack"))?;
+        if !slack.is_finite() || slack <= 0.0 {
+            return Err(SpsepError::parse_at(lineno, "slack must be finite and positive"));
+        }
+        let within = match fields[4] {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(SpsepError::parse_at(
+                    lineno,
+                    format!("bad within flag {other:?}"),
+                ))
+            }
+        };
+        let ratio = if predicted == 0 {
+            0.0
+        } else {
+            measured as f64 / predicted as f64
+        };
+        entries.push(LedgerEntry {
+            label: fields[0].to_string(),
+            measured,
+            predicted,
+            ratio,
+            slack,
+            within,
+        });
+    }
+    if entries.is_empty() {
+        return Err(SpsepError::parse("ledger sidecar has no entries"));
+    }
+    Ok(WorkLedger { algo, entries })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,5 +542,38 @@ mod tests {
         let d_g = tree.height() as u64;
         let l = tree.max_leaf_size().saturating_sub(1) as u64;
         assert_eq!(entry.predicted, 4 * d_g + 2 * l + 1);
+    }
+
+    #[test]
+    fn ledger_sidecar_roundtrips() {
+        let (g, tree) = grid_instance([6, 6], 9);
+        let metrics = spsep_pram::Metrics::new();
+        crate::preprocess::<Tropical>(&g, &tree, Algorithm::PathDoubling, &metrics)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let ledger = work_ledger(&tree, Algorithm::PathDoubling, &metrics.report(), None);
+        let text = ledger_to_text(&ledger);
+        assert!(text.starts_with("spsep-ledger/v1 algo=43\n"));
+        let back = ledger_from_text(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back.algo, ledger.algo);
+        assert_eq!(back.entries.len(), ledger.entries.len());
+        for (a, b) in back.entries.iter().zip(ledger.entries.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.measured, b.measured);
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.within, b.within);
+            assert!((a.ratio - b.ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ledger_sidecar_rejects_corruption() {
+        assert!(ledger_from_text("").is_err());
+        assert!(ledger_from_text("spsep-ledger/v2 algo=41\nx\t1\t1\t1\t1\n").is_err());
+        assert!(ledger_from_text("spsep-ledger/v1 algo=99\nx\t1\t1\t1\t1\n").is_err());
+        assert!(ledger_from_text("spsep-ledger/v1 algo=41\n").is_err());
+        assert!(ledger_from_text("spsep-ledger/v1 algo=41\nx\t1\t1\t1\n").is_err());
+        assert!(ledger_from_text("spsep-ledger/v1 algo=41\nx\tbad\t1\t1\t1\n").is_err());
+        assert!(ledger_from_text("spsep-ledger/v1 algo=41\nx\t1\t1\t-2\t1\n").is_err());
+        assert!(ledger_from_text("spsep-ledger/v1 algo=41\nx\t1\t1\t1\t2\n").is_err());
     }
 }

@@ -312,6 +312,12 @@ pub struct Oracle {
     /// read lock only across a shard lookup or insert, never while a
     /// row is being computed.
     cache: RwLock<RowCache>,
+    /// The Theorem 4.1/5.1 work/depth envelope check taken right after
+    /// preprocessing. `None` for oracles rehydrated from a snapshot
+    /// (the measured counters existed only in the preparing process);
+    /// the CLI persists it next to the snapshot instead (see
+    /// [`crate::analysis::ledger_to_text`]).
+    ledger: Option<crate::analysis::WorkLedger>,
 }
 
 impl Oracle {
@@ -332,12 +338,17 @@ impl Oracle {
         metrics: &Metrics,
     ) -> Result<Oracle, SpsepError> {
         let pre = preprocess::<Tropical>(&graph, &tree, algo, metrics)?;
+        // Snapshot the envelope check now: the report must reflect
+        // preprocessing only, before query-time relaxations pollute the
+        // measured side.
+        let ledger = crate::analysis::work_ledger(&tree, algo, &metrics.report(), None);
         Ok(Oracle {
             graph,
             tree: TreeRepr::Decoded(tree),
             algo,
             pre,
             cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
+            ledger: Some(ledger),
         })
     }
 
@@ -358,6 +369,7 @@ impl Oracle {
             algo,
             pre,
             cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
+            ledger: None,
         }
     }
 
@@ -378,6 +390,7 @@ impl Oracle {
             algo,
             pre,
             cache: RwLock::new(RowCache::new(DEFAULT_CACHE_CAPACITY)),
+            ledger: None,
         }
     }
 
@@ -670,6 +683,20 @@ impl Oracle {
         self.with_cache(RowCache::stats)
     }
 
+    /// Total row-cache hits only — no shard mutexes, just one relaxed
+    /// atomic load per shard, so the serving daemon can sample it
+    /// before and after every request to attribute per-request hits in
+    /// its flight recorder.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.with_cache(|cache| {
+            cache
+                .shards
+                .iter()
+                .map(|s| s.hits.load(Ordering::Relaxed))
+                .sum()
+        })
+    }
+
     /// Number of vertices.
     pub fn n(&self) -> usize {
         self.graph.n()
@@ -688,6 +715,21 @@ impl Oracle {
     /// Augmentation statistics (`|E⁺|`, `d_G`, leaf bound, raw pairs).
     pub fn stats(&self) -> AugmentStats {
         self.pre.stats()
+    }
+
+    /// The Theorem 4.1/5.1 envelope check captured by
+    /// [`Oracle::prepare`]; `None` for snapshot-loaded oracles (load
+    /// the persisted sidecar instead, see
+    /// [`crate::analysis::ledger_from_text`]).
+    pub fn ledger(&self) -> Option<&crate::analysis::WorkLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// Attach a work/depth ledger (e.g. one reloaded from a sidecar
+    /// file) to a snapshot-loaded oracle so downstream telemetry can
+    /// export it.
+    pub fn set_ledger(&mut self, ledger: crate::analysis::WorkLedger) {
+        self.ledger = Some(ledger);
     }
 
     /// Per-source arc-scan bound of the compiled schedule.

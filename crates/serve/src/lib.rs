@@ -15,11 +15,17 @@
 //!   thread-per-worker request loop over `Arc<Oracle>` (whose LRU row
 //!   cache is sharded for concurrency in `spsep-core`), per-request
 //!   deadlines, graceful drain-and-exit shutdown;
+//! * the telemetry plane (`spsep-telemetry` wired through the server):
+//!   lock-free counters/gauges/histograms, Prometheus text exposition
+//!   via the `Request::Metrics` opcode and an optional plain-HTTP
+//!   `GET /metrics` side port, and an always-on flight recorder that
+//!   dumps a window of recent requests around slow or erroring ones
+//!   (DESIGN.md §14);
 //! * [`client`] — a blocking typed client, plus raw-byte escape
 //!   hatches for fault injection;
 //! * [`load`] — an open-loop load harness with zipfian source skew
-//!   and a chaos mode, feeding the committed `BENCH_serve.json`
-//!   artifact.
+//!   and a chaos mode that also scrapes the exposition before/after
+//!   the run, feeding the committed `BENCH_serve.json` artifact.
 //!
 //! The fault model and its tests live in `spsep-testkit`
 //! (`wire_corruptions()` and the daemon shutdown suite).
@@ -32,6 +38,7 @@ pub mod client;
 pub mod load;
 pub mod protocol;
 pub mod server;
+mod telemetry;
 
 pub use client::Client;
 pub use load::{run_load, LoadConfig, LoadReport, Mix};

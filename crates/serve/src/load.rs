@@ -127,6 +127,15 @@ pub struct LoadReport {
     /// The daemon's own final stats (fetched over the wire after the
     /// run; `None` if the daemon became unreachable).
     pub daemon: Option<WireStats>,
+    /// Monotone-sample deltas from the daemon's Prometheus exposition,
+    /// scraped over the `Request::Metrics` opcode immediately before
+    /// and after the run: canonical sample id → increase. Only samples
+    /// that moved are kept. Empty when either scrape failed.
+    pub metrics_delta: BTreeMap<String, f64>,
+    /// Whether both scraped expositions passed the strict validator
+    /// (`None` when a scrape itself failed, e.g. telemetry-less
+    /// daemon builds).
+    pub metrics_valid: Option<bool>,
 }
 
 impl LoadReport {
@@ -442,6 +451,7 @@ fn percentile_us(sorted: &[u64], q: f64) -> f64 {
 pub fn run_load(config: &LoadConfig) -> Result<LoadReport, SpsepError> {
     Client::connect(config.addr.as_str(), config.timeout)?
         .request(&Request::Ping)?;
+    let scrape_before = scrape_metrics(config);
     let schedule = build_schedule(config);
     let conns = config.connections.max(1);
     // Round-robin assignment keeps each connection's arrivals in
@@ -498,7 +508,35 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, SpsepError> {
             Response::Stats(s) => Some(s),
             _ => None,
         });
+    let scrape_after = scrape_metrics(config);
+    report.metrics_valid = match (&scrape_before, &scrape_after) {
+        (Some((_, a)), Some((_, b))) => Some(*a && *b),
+        _ => None,
+    };
+    if let (Some((before, _)), Some((after, _))) = (scrape_before, scrape_after) {
+        for (id, now) in after {
+            let delta = now - before.get(&id).copied().unwrap_or(0.0);
+            if delta != 0.0 {
+                report.metrics_delta.insert(id, delta);
+            }
+        }
+    }
     Ok(report)
+}
+
+/// Scrape the daemon's exposition over the wire opcode: the monotone
+/// samples (for deltas) plus the strict validator's verdict.
+fn scrape_metrics(config: &LoadConfig) -> Option<(BTreeMap<String, f64>, bool)> {
+    let text = Client::connect(config.addr.as_str(), config.timeout)
+        .and_then(|mut c| c.request(&Request::Metrics))
+        .ok()
+        .and_then(|resp| match resp {
+            Response::Metrics(text) => Some(text),
+            _ => None,
+        })?;
+    let valid = spsep_telemetry::validate_prometheus_text(&text).is_ok();
+    let samples = spsep_telemetry::counter_samples(&text).unwrap_or_default();
+    Some((samples, valid))
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ mod req_op {
     pub const BATCH: u8 = 0x05;
     pub const STATS: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
+    pub const METRICS: u8 = 0x08;
 }
 
 /// Response opcodes (daemon → client).
@@ -58,6 +59,7 @@ mod resp_op {
     pub const BATCH: u8 = 0x45;
     pub const STATS: u8 = 0x46;
     pub const SHUTDOWN_ACK: u8 = 0x47;
+    pub const METRICS: u8 = 0x48;
     pub const ERROR: u8 = 0x7f;
 }
 
@@ -87,6 +89,10 @@ pub enum Request {
     },
     /// Serving statistics snapshot (admission, latency, cache shards).
     Stats,
+    /// Prometheus text exposition of the daemon's telemetry registry —
+    /// the wire-native twin of the plain-HTTP `GET /metrics` side
+    /// port.
+    Metrics,
     /// Ask the daemon to drain in-flight requests and exit.
     Shutdown,
 }
@@ -150,10 +156,12 @@ pub struct WireStats {
     pub errors: [u64; 5],
     /// Connections dropped on an I/O failure or deadline expiry.
     pub io_errors: u64,
-    /// Queue-wait percentiles in microseconds (p50, p99).
-    pub queue_wait_us: [f64; 2],
-    /// Service-time percentiles in microseconds (p50, p99).
-    pub service_us: [f64; 2],
+    /// Queue-wait percentiles in microseconds (p50, p99, p999),
+    /// derived from the daemon's fixed-footprint telemetry histograms.
+    pub queue_wait_us: [f64; 3],
+    /// Service-time percentiles in microseconds (p50, p99, p999),
+    /// derived from the daemon's fixed-footprint telemetry histograms.
+    pub service_us: [f64; 3],
     /// Row-cache hits across all shards.
     pub cache_hits: u64,
     /// Row-cache misses across all shards.
@@ -190,6 +198,9 @@ pub enum Response {
     Batch(Vec<f64>),
     /// Answer to [`Request::Stats`].
     Stats(WireStats),
+    /// Answer to [`Request::Metrics`] — the Prometheus text exposition
+    /// (UTF-8; clamped by the frame bound like every response).
+    Metrics(String),
     /// Answer to [`Request::Shutdown`]; the daemon drains and exits
     /// after sending this.
     ShutdownAck,
@@ -237,6 +248,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Stats => w.u8(req_op::STATS),
+        Request::Metrics => w.u8(req_op::METRICS),
         Request::Shutdown => w.u8(req_op::SHUTDOWN),
     }
     frame(w.into_inner())
@@ -276,6 +288,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, SpsepError> {
             Request::Batch { pairs }
         }
         req_op::STATS => Request::Stats,
+        req_op::METRICS => Request::Metrics,
         req_op::SHUTDOWN => Request::Shutdown,
         other => {
             return Err(SpsepError::parse(format!(
@@ -344,6 +357,12 @@ pub fn encode_response(resp: &Response, max_frame: u32) -> Result<Vec<u8>, Spsep
             w.u64(s.cache_evictions);
             w.u32(s.cache_shards);
             w.u32(s.workers);
+        }
+        Response::Metrics(text) => {
+            w.u8(resp_op::METRICS);
+            let bytes = text.as_bytes();
+            w.u32(bytes.len() as u32);
+            w.bytes(bytes);
         }
         Response::ShutdownAck => w.u8(resp_op::SHUTDOWN_ACK),
         Response::Error { code, message } => {
@@ -426,6 +445,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SpsepError> {
             s.cache_shards = r.u32("stats cache shards")?;
             s.workers = r.u32("stats workers")?;
             Response::Stats(s)
+        }
+        resp_op::METRICS => {
+            let len = r.u32("metrics text length")? as usize;
+            let bytes = r.take(len, "metrics text")?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| SpsepError::parse("metrics text is not UTF-8"))?;
+            Response::Metrics(text.to_string())
         }
         resp_op::SHUTDOWN_ACK => Response::ShutdownAck,
         resp_op::ERROR => {
@@ -626,6 +652,7 @@ mod tests {
             pairs: vec![(1, 2), (3, 4), (0, 0)],
         });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Shutdown);
     }
 
@@ -648,14 +675,17 @@ mod tests {
             served: 100,
             errors: [1, 2, 3, 4, 5],
             io_errors: 6,
-            queue_wait_us: [1.0, 2.0],
-            service_us: [3.0, 4.0],
+            queue_wait_us: [1.0, 2.0, 2.5],
+            service_us: [3.0, 4.0, 4.5],
             cache_hits: 7,
             cache_misses: 8,
             cache_evictions: 9,
             cache_shards: 8,
             workers: 4,
         }));
+        roundtrip_resp(Response::Metrics(
+            "# TYPE spsep_served_total counter\nspsep_served_total 12\n".to_string(),
+        ));
         roundtrip_resp(Response::ShutdownAck);
         roundtrip_resp(Response::Error {
             code: WireError::Overloaded,

@@ -1,5 +1,5 @@
 //! The daemon: bounded-admission TCP listener, thread-per-worker
-//! request loop, graceful shutdown.
+//! request loop, live telemetry plane, graceful shutdown.
 //!
 //! ```text
 //!          accept loop (main thread, non-blocking poll)
@@ -11,8 +11,11 @@
 //!                 ▼
 //!      worker 0 … worker W−1   (thread per worker, catch_unwind)
 //!                 │  framed requests, per-request deadlines
+//!                 │  per-request: counters, histograms, flight record
 //!                 ▼
 //!        Arc<Oracle> — sharded LRU row cache (spsep-core)
+//!
+//!   side port (optional): GET /metrics → Prometheus text exposition
 //! ```
 //!
 //! Robustness invariants (pinned by `spsep-testkit`'s wire-corruption
@@ -28,11 +31,15 @@
 //!   `Parse`, out-of-range queries get `InvalidQuery`;
 //! * **shutdown drains** — in-flight requests complete, queued
 //!   connections are answered with a typed error, the listener closes,
-//!   and [`Server::run`] returns the final stats (the daemon exits 0).
+//!   and [`Server::run`] returns the final stats (the daemon exits 0);
+//! * **telemetry is passive** — recording is relaxed atomics off the
+//!   lock path; disabling it (runtime switch or compiling without the
+//!   `telemetry` feature) never changes an answer byte.
 
 use crate::protocol::{
     self, Request, Response, WireError, WireStats, MAX_FRAME,
 };
+use crate::telemetry::{op_index, ServerTelemetry, OP_LABELS};
 use spsep_core::{Algorithm, Oracle};
 use spsep_graph::SpsepError;
 use spsep_pram::Metrics;
@@ -62,6 +69,20 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-response write deadline.
     pub write_timeout: Duration,
+    /// Runtime telemetry switch. When `false` the registry and flight
+    /// recorder exist but record nothing (exposition still answers,
+    /// with zeroed counters). Compile with `--no-default-features` to
+    /// strip the recording calls entirely.
+    pub telemetry: bool,
+    /// Optional plain-HTTP side port serving `GET /metrics` for
+    /// scrapers that do not speak the framed protocol (port 0 picks a
+    /// free port). `None` disables the listener; the wire opcode
+    /// `Request::Metrics` works regardless.
+    pub metrics_addr: Option<String>,
+    /// Slow-query threshold for the flight recorder, microseconds: a
+    /// request at or above it triggers a window dump. `None` arms the
+    /// error trigger only.
+    pub slow_us: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +94,9 @@ impl Default for ServeConfig {
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            telemetry: true,
+            metrics_addr: None,
+            slow_us: None,
         }
     }
 }
@@ -87,58 +111,16 @@ fn algo_wire_code(algo: Algorithm) -> u8 {
     }
 }
 
-/// Log-linear latency histogram: bucket `i` covers `[2^(i−1), 2^i)`
-/// microseconds (bucket 0 is `< 1 µs`). Bounded memory regardless of
-/// how long the daemon lives; the load harness keeps exact samples,
-/// this is the daemon's own running account.
-struct LatencyHistogram {
-    buckets: [AtomicU64; 40],
-    count: AtomicU64,
-}
-
-impl LatencyHistogram {
-    fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-        }
-    }
-
-    fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let idx = (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Upper bound of the bucket containing quantile `q` (0 ..= 1), in
-    /// microseconds. 0 when no samples were recorded.
-    fn quantile_us(&self, q: f64) -> f64 {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i == 0 { 1.0 } else { (1u64 << i) as f64 };
-            }
-        }
-        (1u64 << (self.buckets.len() - 1)) as f64
-    }
-}
-
-/// Atomic serving counters, snapshotted into [`WireStats`].
+/// Atomic serving counters, snapshotted into [`WireStats`]. These are
+/// the wire-stats source of truth and always count (they predate the
+/// telemetry plane and cost one relaxed add each); the registry's
+/// counters mirror them for Prometheus exposition.
 struct ServerStats {
     accepted: AtomicU64,
     shed: AtomicU64,
     served: AtomicU64,
     errors: [AtomicU64; 5],
     io_errors: AtomicU64,
-    queue_wait: LatencyHistogram,
-    service: LatencyHistogram,
 }
 
 impl ServerStats {
@@ -149,8 +131,6 @@ impl ServerStats {
             served: AtomicU64::new(0),
             errors: std::array::from_fn(|_| AtomicU64::new(0)),
             io_errors: AtomicU64::new(0),
-            queue_wait: LatencyHistogram::new(),
-            service: LatencyHistogram::new(),
         }
     }
 
@@ -173,6 +153,9 @@ struct Conn {
     /// Last time a byte arrived — the keep-alive clock, preserved
     /// across yields so the idle expiry stays `read_timeout` total.
     last_activity: Instant,
+    /// The admission queue-wait, carried into every flight record this
+    /// connection produces.
+    queue_wait_ns: u64,
 }
 
 /// Everything a worker needs, shared behind one `Arc`.
@@ -181,6 +164,7 @@ struct Shared {
     config: ServeConfig,
     metrics: Metrics,
     stats: ServerStats,
+    tel: ServerTelemetry,
     queue: Mutex<VecDeque<Conn>>,
     available: Condvar,
     /// Set by [`ServerHandle::shutdown`], a `Shutdown` request, or a
@@ -203,13 +187,18 @@ impl Shared {
             served: self.stats.served.load(Ordering::Relaxed),
             errors: std::array::from_fn(|i| self.stats.errors[i].load(Ordering::Relaxed)),
             io_errors: self.stats.io_errors.load(Ordering::Relaxed),
+            // Percentiles come from the fixed-footprint telemetry
+            // histograms (≤3.125% relative bucket width); zeros when
+            // telemetry is off.
             queue_wait_us: [
-                self.stats.queue_wait.quantile_us(0.50),
-                self.stats.queue_wait.quantile_us(0.99),
+                ServerTelemetry::quantile_us(&self.tel.queue_wait_ns, 0.50),
+                ServerTelemetry::quantile_us(&self.tel.queue_wait_ns, 0.99),
+                ServerTelemetry::quantile_us(&self.tel.queue_wait_ns, 0.999),
             ],
             service_us: [
-                self.stats.service.quantile_us(0.50),
-                self.stats.service.quantile_us(0.99),
+                ServerTelemetry::quantile_us(&self.tel.service_ns, 0.50),
+                ServerTelemetry::quantile_us(&self.tel.service_ns, 0.99),
+                ServerTelemetry::quantile_us(&self.tel.service_ns, 0.999),
             ],
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -218,6 +207,24 @@ impl Shared {
             workers: self.config.workers as u32,
         }
     }
+}
+
+/// Render the Prometheus exposition: refresh the scrape-time gauges
+/// (queue depth, drain flag, cache shards, executor pool), then walk
+/// the registry. Served by both the `Request::Metrics` wire opcode and
+/// the HTTP side port.
+fn metrics_text(shared: &Shared) -> String {
+    if shared.tel.on() {
+        shared.tel.scrapes.inc();
+    }
+    let queue_depth = lock_queue(shared).len();
+    shared.tel.refresh_gauges(
+        queue_depth,
+        shared.shutting_down(),
+        shared.config.workers,
+        &shared.oracle.cache_stats(),
+    );
+    spsep_telemetry::render(&shared.tel.registry)
 }
 
 /// Remote control for a running [`Server`] — clone it into another
@@ -244,36 +251,70 @@ impl ServerHandle {
     pub fn stats(&self) -> WireStats {
         self.shared.snapshot()
     }
+
+    /// The Prometheus text exposition, exactly as a scrape would see
+    /// it (refreshes the gauges; counts as a scrape).
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
+    /// The flight-recorder dumps retained so far (bounded; oldest
+    /// evicted first).
+    pub fn flight_dumps(&self) -> Vec<spsep_telemetry::FlightDump> {
+        self.shared.tel.flight_dumps()
+    }
 }
 
 /// The query daemon. Bind with [`Server::bind`], then block on
 /// [`Server::run`] until shutdown.
 pub struct Server {
     listener: TcpListener,
+    /// Optional plain-HTTP `GET /metrics` side listener.
+    http: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Bind the listener and set up the shared worker state. The
-    /// daemon does not serve until [`Server::run`].
+    /// Bind the listener (and the metrics side port, when configured)
+    /// and set up the shared worker state. The daemon does not serve
+    /// until [`Server::run`]. When the oracle carries a work/depth
+    /// ledger (prepared in-process or reloaded from a sidecar), the
+    /// Theorem 4.1/5.1 envelope verdicts are exported as gauges.
     ///
     /// # Errors
     ///
-    /// [`SpsepError::Io`] when the address cannot be bound.
+    /// [`SpsepError::Io`] when an address cannot be bound.
     pub fn bind(oracle: Arc<Oracle>, config: ServeConfig) -> Result<Server, SpsepError> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let http = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let tel = ServerTelemetry::new(config.workers.max(1), config.telemetry, config.slow_us);
+        if let Some(ledger) = oracle.ledger() {
+            tel.set_ledger(ledger);
+        }
         let shared = Arc::new(Shared {
             oracle,
             config,
             metrics: Metrics::new(),
             stats: ServerStats::new(),
+            tel,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             draining: AtomicBool::new(false),
             accept_done: AtomicBool::new(false),
         });
-        Ok(Server { listener, shared })
+        Ok(Server {
+            listener,
+            http,
+            shared,
+        })
     }
 
     /// The bound address (useful with port 0).
@@ -283,6 +324,11 @@ impl Server {
     /// [`SpsepError::Io`] if the socket cannot report its address.
     pub fn local_addr(&self) -> Result<std::net::SocketAddr, SpsepError> {
         Ok(self.listener.local_addr()?)
+    }
+
+    /// The bound metrics side-port address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// A control handle for triggering shutdown from another thread.
@@ -303,15 +349,30 @@ impl Server {
     /// connection errors are counted, answered, and never abort the
     /// daemon.
     pub fn run(self) -> Result<WireStats, SpsepError> {
-        let Server { listener, shared } = self;
+        let Server {
+            listener,
+            http,
+            shared,
+        } = self;
         let workers: Vec<_> = (0..shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("spsep-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i as u32))
             })
             .collect::<Result<_, _>>()?;
+        let http_thread = match http {
+            Some(l) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("spsep-metrics-http".to_string())
+                        .spawn(move || http_loop(&l, &shared))?,
+                )
+            }
+            None => None,
+        };
 
         while !shared.shutting_down() {
             match listener.accept() {
@@ -333,6 +394,9 @@ impl Server {
             // joining it must not take the daemon down with it.
             let _ = w.join();
         }
+        if let Some(t) = http_thread {
+            let _ = t.join();
+        }
         Ok(shared.snapshot())
     }
 }
@@ -348,16 +412,23 @@ fn admit(shared: &Shared, stream: TcpStream) {
     if q.len() >= shared.config.queue_depth {
         drop(q);
         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        if shared.tel.on() {
+            shared.tel.shed.inc();
+        }
         refuse(shared, stream, WireError::Overloaded, "connection queue full");
         return;
     }
     shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    if shared.tel.on() {
+        shared.tel.accepted.inc();
+    }
     let now = Instant::now();
     q.push_back(Conn {
         stream,
         enqueued: now,
         fresh: true,
         last_activity: now,
+        queue_wait_ns: 0,
     });
     drop(q);
     shared.available.notify_one();
@@ -366,6 +437,7 @@ fn admit(shared: &Shared, stream: TcpStream) {
 /// Best-effort typed refusal: write one error frame and close.
 fn refuse(shared: &Shared, mut stream: TcpStream, code: WireError, message: &str) {
     shared.stats.count_error(code);
+    shared.tel.count_error(code);
     let resp = Response::Error {
         code,
         message: message.to_string(),
@@ -395,7 +467,7 @@ enum ConnFate {
 
 /// Worker thread: pop connections until shutdown has drained the
 /// queue.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: u32) {
     loop {
         let popped = {
             let mut q = lock_queue(shared);
@@ -416,13 +488,18 @@ fn worker_loop(shared: &Shared) {
             return;
         };
         if conn.fresh {
-            shared.stats.queue_wait.record(conn.enqueued.elapsed());
+            let wait = conn.enqueued.elapsed();
+            shared.tel.observe_queue_wait(wait);
+            conn.queue_wait_ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
             conn.fresh = false;
         }
         let outcome =
-            panic::catch_unwind(AssertUnwindSafe(|| serve_connection(shared, &mut conn)));
+            panic::catch_unwind(AssertUnwindSafe(|| serve_connection(shared, &mut conn, worker)));
         match outcome {
             Ok(ConnFate::Yielded) => {
+                if shared.tel.on() {
+                    shared.tel.yields.inc();
+                }
                 conn.enqueued = Instant::now();
                 let mut q = lock_queue(shared);
                 q.push_back(conn);
@@ -438,6 +515,10 @@ fn worker_loop(shared: &Shared) {
                     message: "internal server error".to_string(),
                 };
                 shared.stats.count_error(WireError::Internal);
+                shared.tel.count_error(WireError::Internal);
+                if shared.tel.on() {
+                    shared.tel.panics.inc();
+                }
                 if let Ok(bytes) = protocol::encode_response(&resp, shared.config.max_frame) {
                     let _ = protocol::write_frame(&mut conn.stream, &bytes);
                 }
@@ -513,7 +594,7 @@ fn next_frame(shared: &Shared, conn: &mut Conn) -> Boundary {
 
 /// Serve one connection until it closes, breaks, or yields to waiting
 /// connections at a frame boundary.
-fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
+fn serve_connection(shared: &Shared, conn: &mut Conn, worker: u32) -> ConnFate {
     loop {
         let frame = match next_frame(shared, conn) {
             Boundary::Frame(payload) => payload,
@@ -521,6 +602,9 @@ fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
             Boundary::Yield => return ConnFate::Yielded,
             Boundary::Dead => {
                 shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                if shared.tel.on() {
+                    shared.tel.io_errors.inc();
+                }
                 return ConnFate::Closed;
             }
             Boundary::Broken(e) => {
@@ -534,8 +618,23 @@ fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
                 return ConnFate::Closed;
             }
         };
-        let stream = &mut conn.stream;
         let started = Instant::now();
+        // Flight-recorder bookkeeping is gathered up front so the
+        // record covers decode + answer + encode. The cache-hit delta
+        // is sampled lock-free; under concurrency it may attribute
+        // another worker's hits to this request (documented, bounded
+        // imprecision).
+        let tel_on = shared.tel.on();
+        let (seq, start_ns, hits_before) = if tel_on {
+            (
+                shared.tel.flight.next_seq(),
+                shared.tel.flight.now_ns(),
+                shared.oracle.cache_hits_total(),
+            )
+        } else {
+            (0, 0, 0)
+        };
+        let stream = &mut conn.stream;
         let req = match protocol::decode_request(&frame) {
             Ok(req) => req,
             Err(e) => {
@@ -545,15 +644,29 @@ fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
                     code: WireError::Parse,
                     message: e.to_string(),
                 });
+                shared.tel.flight_record(
+                    worker,
+                    seq,
+                    "parse",
+                    &frame,
+                    start_ns,
+                    conn.queue_wait_ns,
+                    started.elapsed(),
+                    0,
+                    Some(WireError::Parse.label()),
+                );
                 if keep {
                     continue;
                 }
                 return ConnFate::Closed;
             }
         };
+        shared.tel.count_request(op_index(&req));
+        let op_label = OP_LABELS[op_index(&req)];
         // Requests arriving once the drain has begun are refused with a
         // typed error; the request currently executing on each worker
-        // (and the control plane: Ping/Stats/Shutdown) still completes.
+        // (and the control plane: Ping/Stats/Metrics/Shutdown) still
+        // completes — a scraper can watch the drain happen.
         if shared.shutting_down()
             && matches!(
                 req,
@@ -568,29 +681,57 @@ fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
         }
         let resp = match req {
             Request::Stats => Response::Stats(shared.snapshot()),
+            Request::Metrics => Response::Metrics(metrics_text(shared)),
             Request::Shutdown => {
                 shared.draining.store(true, Ordering::SeqCst);
                 shared.available.notify_all();
                 send(shared, stream, Response::ShutdownAck);
                 shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                if tel_on {
+                    shared.tel.served.inc();
+                }
                 return ConnFate::Closed;
             }
             ref q => match answer_query(&shared.oracle, q, &shared.metrics) {
                 Some(resp) => resp,
-                // Unreachable: Stats/Shutdown are handled above.
+                // Unreachable: Stats/Metrics/Shutdown are handled above.
                 None => Response::Error {
                     code: WireError::Internal,
                     message: "unroutable request".to_string(),
                 },
             },
         };
-        shared.stats.service.record(started.elapsed());
+        let service = started.elapsed();
+        shared.tel.observe_service(service);
         let was_error = matches!(resp, Response::Error { .. });
+        let err_label = match &resp {
+            Response::Error { code, .. } => Some(code.label()),
+            _ => None,
+        };
+        let hits = if tel_on {
+            shared.oracle.cache_hits_total().saturating_sub(hits_before)
+        } else {
+            0
+        };
+        shared.tel.flight_record(
+            worker,
+            seq,
+            op_label,
+            &frame,
+            start_ns,
+            conn.queue_wait_ns,
+            service,
+            hits,
+            err_label,
+        );
         if !send(shared, stream, resp) {
             return ConnFate::Closed;
         }
         if !was_error {
             shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            if tel_on {
+                shared.tel.served.inc();
+            }
         }
     }
 }
@@ -602,6 +743,7 @@ fn serve_connection(shared: &Shared, conn: &mut Conn) -> ConnFate {
 fn send(shared: &Shared, stream: &mut TcpStream, resp: Response) -> bool {
     if let Response::Error { code, .. } = resp {
         shared.stats.count_error(code);
+        shared.tel.count_error(code);
     }
     let bytes = match protocol::encode_response(&resp, shared.config.max_frame) {
         Ok(bytes) => bytes,
@@ -611,6 +753,7 @@ fn send(shared: &Shared, stream: &mut TcpStream, resp: Response) -> bool {
                 message: format!("response exceeds the frame bound: {e}"),
             };
             shared.stats.count_error(WireError::InvalidQuery);
+            shared.tel.count_error(WireError::InvalidQuery);
             match protocol::encode_response(&fallback, shared.config.max_frame) {
                 Ok(bytes) => bytes,
                 Err(_) => return false,
@@ -621,16 +764,79 @@ fn send(shared: &Shared, stream: &mut TcpStream, resp: Response) -> bool {
         Ok(()) => true,
         Err(_) => {
             shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            if shared.tel.on() {
+                shared.tel.io_errors.inc();
+            }
             false
         }
     }
+}
+
+/// Serve the plain-HTTP metrics side port until shutdown: a minimal
+/// HTTP/1.1 responder that answers `GET /metrics` with the text
+/// exposition and anything else with 404. One request per connection
+/// (`Connection: close`); deadlines bound every socket operation.
+fn http_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => serve_http(shared, stream),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // A hard listener failure kills only the side port; the
+            // wire opcode keeps serving scrapes.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one HTTP request on the metrics side port, best-effort.
+fn serve_http(shared: &Shared, mut stream: TcpStream) {
+    use std::io::{Read, Write};
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    // Read until the header terminator (we ignore the headers) with a
+    // hard cap so a hostile peer cannot balloon the buffer.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(k) => {
+                buf.extend_from_slice(&chunk[..k]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 4096 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = buf
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let (status, body) = if request_line.starts_with(b"GET /metrics ") {
+        ("200 OK", metrics_text(shared))
+    } else {
+        ("404 Not Found", "only GET /metrics is served here\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
 }
 
 /// Answer a data-plane request directly against the oracle — the same
 /// routine serves the daemon and `spsep-cli serve`'s one-shot replay
 /// mode, so both speak the identical codec and produce bit-identical
 /// answers. Returns `None` for the daemon-only control requests
-/// (`Stats`, `Shutdown`).
+/// (`Stats`, `Metrics`, `Shutdown`).
 pub fn answer_query(oracle: &Oracle, req: &Request, metrics: &Metrics) -> Option<Response> {
     let resp = match req {
         Request::Ping => Response::Pong,
@@ -666,7 +872,7 @@ pub fn answer_query(oracle: &Oracle, req: &Request, metrics: &Metrics) -> Option
                 Err(e) => query_error(&e),
             }
         }
-        Request::Stats | Request::Shutdown => return None,
+        Request::Stats | Request::Metrics | Request::Shutdown => return None,
     };
     Some(resp)
 }
@@ -744,22 +950,62 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bracket_the_samples() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.5), 0.0, "empty histogram reports 0");
-        for us in [10u64, 20, 30, 40, 1000] {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.quantile_us(0.50);
-        assert!((16.0..=64.0).contains(&p50), "p50 bucket bound {p50}");
-        let p99 = h.quantile_us(0.99);
-        assert!(p99 >= 1000.0, "p99 bucket bound {p99}");
-    }
-
-    #[test]
     fn algo_codes_follow_the_paper_numbering() {
         assert_eq!(algo_wire_code(Algorithm::LeavesUp), 41);
         assert_eq!(algo_wire_code(Algorithm::PathDoubling), 43);
         assert_eq!(algo_wire_code(Algorithm::SharedDoubling), 44);
+    }
+
+    // Recording is dead-coded without the `telemetry` feature, so the
+    // two tests below only make sense with it compiled in.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn server_telemetry_exposition_validates() {
+        let tel = ServerTelemetry::new(2, true, Some(1_000));
+        tel.count_request(op_index(&Request::Ping));
+        tel.count_request(op_index(&Request::Point { source: 0, target: 1 }));
+        tel.count_error(WireError::Parse);
+        tel.observe_queue_wait(Duration::from_micros(3));
+        tel.observe_service(Duration::from_micros(120));
+        let text = spsep_telemetry::render(&tel.registry);
+        spsep_telemetry::validate_prometheus_text(&text).expect("exposition validates");
+        assert!(text.contains("spsep_requests_total{op=\"ping\"} 1"));
+        assert!(text.contains("spsep_requests_total{op=\"point\"} 1"));
+        assert!(text.contains("spsep_errors_total{kind=\"parse\"} 1"));
+        assert!(text.contains("spsep_request_service_ns_count 1"));
+    }
+
+    #[test]
+    fn telemetry_switch_gates_recording() {
+        let tel = ServerTelemetry::new(1, false, None);
+        tel.count_request(op_index(&Request::Ping));
+        tel.observe_service(Duration::from_micros(50));
+        assert!(!tel.on());
+        let text = spsep_telemetry::render(&tel.registry);
+        assert!(
+            text.contains("spsep_requests_total{op=\"ping\"} 0"),
+            "counters stay zero with the runtime switch off"
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn slow_trigger_produces_a_flight_dump() {
+        let tel = ServerTelemetry::new(1, true, Some(0));
+        let reason = tel.flight_record(
+            0,
+            tel.flight.next_seq(),
+            "point",
+            b"frame",
+            tel.flight.now_ns(),
+            7,
+            Duration::from_micros(10),
+            1,
+            None,
+        );
+        assert!(matches!(reason, Some(spsep_telemetry::DumpReason::Slow)));
+        let dumps = tel.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].records[0].opcode, "point");
     }
 }

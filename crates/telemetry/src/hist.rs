@@ -1,0 +1,382 @@
+//! Fixed-footprint log-bucketed latency histogram.
+//!
+//! The bucket scheme is HdrHistogram-style: power-of-two *octaves*, each
+//! split into `SUB = 2^SUB_BITS` equal-width sub-buckets, so the
+//! relative width of any bucket is at most `1/SUB` (3.125% with
+//! `SUB_BITS = 5`). Values below `SUB` get their own unit-width bucket
+//! (exact). The whole histogram is a flat array of
+//! `SUB × (OCTAVES + 1)` counters — ~10 KiB per shard, allocated once —
+//! so recording never allocates and the daemon's memory footprint is
+//! independent of uptime (this replaces the coarse 40-bucket
+//! `LatencyHistogram` the daemon used to keep, and fixes the unbounded
+//! per-sample retention the load harness still uses for its *exact*
+//! reference percentiles).
+//!
+//! Concurrency: the histogram is internally sharded. Each recording
+//! thread is assigned a shard once (round-robin over a process-global
+//! counter, so a given thread hits the same shard index in *every*
+//! histogram) and then only ever touches that shard's atomics with
+//! relaxed ordering — no locks, no CAS loops, no false sharing between
+//! workers on different shards. A read merges the shards by index-wise
+//! summation, which is commutative and associative: the merged snapshot
+//! depends only on the multiset of recorded values, never on thread
+//! count or interleaving. That determinism claim is what the proptest
+//! suite pins down.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// log2 of the number of sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32 → ≤ 3.125% relative bucket width).
+pub const SUB: u64 = 1 << SUB_BITS;
+/// Number of power-of-two octaves above the exact linear range.
+/// `OCTAVES = 40` tracks values up to `2^45 − 1` (≈ 9.7 hours in
+/// nanoseconds) before clamping into the final bucket.
+pub const OCTAVES: u32 = 40;
+/// Total bucket count: the linear range plus `OCTAVES` octave rows.
+pub const BUCKETS: usize = (SUB as usize) * (OCTAVES as usize + 1);
+
+/// Number of internal shards. Power of two, sized for the daemon's
+/// worker-count sweep (1/2/4/8) plus the acceptor and control plane.
+pub const SHARDS: usize = 8;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The shard index assigned to the calling thread (assigned round-robin
+/// on first use; stable for the thread's lifetime and shared across all
+/// histograms, so per-worker telemetry lands in per-worker shards).
+pub fn thread_shard() -> usize {
+    MY_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// Map a value to its bucket index.
+///
+/// Values `< SUB` map to the unit-width bucket `v`; a value in octave
+/// `k` (i.e. `2^(SUB_BITS+k-1) ≤ v < 2^(SUB_BITS+k)`) maps to bucket
+/// `k·SUB + sub` where `sub` keeps the top `SUB_BITS` bits below the
+/// leading one. Values past the last octave clamp into the final
+/// bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let octave = msb - u64::from(SUB_BITS) + 1;
+    if octave > u64::from(OCTAVES) {
+        return BUCKETS - 1;
+    }
+    let sub = (v >> (msb - u64::from(SUB_BITS))) - SUB;
+    (octave as usize) * (SUB as usize) + sub as usize
+}
+
+/// Half-open value range `[lo, hi)` covered by bucket `i`.
+///
+/// The final bucket absorbs every clamped value, so its upper bound is
+/// reported as `u64::MAX`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < BUCKETS);
+    if i == BUCKETS - 1 {
+        let lo = (SUB + SUB - 1) << (OCTAVES - 1);
+        return (lo, u64::MAX);
+    }
+    if i < SUB as usize {
+        return (i as u64, i as u64 + 1);
+    }
+    let octave = (i as u64) >> SUB_BITS;
+    let sub = (i as u64) & (SUB - 1);
+    let lo = (SUB + sub) << (octave - 1);
+    (lo, lo + (1 << (octave - 1)))
+}
+
+struct Shard {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A sharded, lock-free, fixed-footprint histogram of `u64` values
+/// (the daemon records nanoseconds).
+pub struct Histogram {
+    shards: Vec<Shard>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Allocate an empty histogram (`SHARDS × BUCKETS` zeroed counters).
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Record one value into the calling thread's shard. Lock-free:
+    /// three relaxed atomic adds, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[thread_shard()];
+        shard.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merge every shard (index-wise sum, fixed order) into an owned
+    /// snapshot. Deterministic for a quiesced histogram: the result
+    /// depends only on the multiset of recorded values.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (acc, c) in counts.iter_mut().zip(shard.counts.iter()) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum += shard.sum.load(Ordering::Relaxed);
+        }
+        HistSnapshot { counts, count, sum }
+    }
+}
+
+/// An owned, merged view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, dense, length [`BUCKETS`].
+    pub counts: Vec<u64>,
+    /// Total recorded values (`Σ counts`).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Merge another snapshot into this one: merge is index-wise sum,
+    /// so `a.merge(b)` equals a snapshot of all values from both.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the *inclusive upper bound* of
+    /// the bucket holding the nearest-rank element, so the reported
+    /// value is never below the true quantile by more than one bucket
+    /// width and is exact for values in the linear range. Returns 0 for
+    /// an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.saturating_sub(1);
+            }
+        }
+        let (_, hi) = bucket_bounds(BUCKETS - 1);
+        hi
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative counts at the octave boundaries, as
+    /// `(le, cumulative)` pairs with `le` inclusive
+    /// (`2^5−1, 2^6−1, …, 2^45−1`). This is the thinned series the
+    /// Prometheus exposition emits — the full 1312-bucket resolution
+    /// stays internal for quantiles.
+    pub fn octave_cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(OCTAVES as usize + 1);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if (i + 1) % SUB as usize == 0 {
+                let (_, hi) = bucket_bounds(i);
+                let le = if i == BUCKETS - 1 {
+                    hi
+                } else {
+                    hi.saturating_sub(1)
+                };
+                out.push((le, cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_always_within_its_bucket_bounds() {
+        let probes: Vec<u64> = (0..200)
+            .chain((0..64).map(|k| (1u64 << (k % 45)).saturating_sub(1)))
+            .chain((0..64).map(|k| 1u64 << (k % 45)))
+            .chain([12_345, 999_999, 1_000_000_007, u64::MAX / 2, u64::MAX])
+            .collect();
+        for v in probes {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "v={v} bucket={i} bounds=[{lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut prev_hi = 0u64;
+        for i in 0..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, prev_hi, "gap before bucket {i}");
+            assert!(hi > lo);
+            prev_hi = hi;
+        }
+        let (lo, hi) = bucket_bounds(BUCKETS - 1);
+        assert_eq!(lo, prev_hi);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        // Outside the exact linear range, width/lo ≤ 1/SUB.
+        for i in SUB as usize..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!((hi - lo) * SUB <= lo, "bucket {i}: [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn merge_is_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..5000u64 {
+            let v = v * v % 100_000;
+            if v % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn quantile_is_within_one_bucket_of_exact() {
+        let h = Histogram::new();
+        let mut vals: Vec<u64> = (0..10_000u64).map(|i| (i * 7919) % 3_000_000).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10_000);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = vals[((q * vals.len() as f64).ceil() as usize - 1).min(vals.len() - 1)];
+            let est = snap.quantile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            assert!(
+                est >= exact && est < hi.saturating_add(1) && est.saturating_sub(exact) <= hi - lo,
+                "q={q}: exact={exact} est={est} bucket=[{lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_exact_in_linear_range() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 5);
+        assert_eq!(snap.quantile(1.0), 10);
+        assert_eq!(snap.sum, 55);
+    }
+
+    #[test]
+    fn octave_cumulative_ends_at_count() {
+        let h = Histogram::new();
+        for v in [0u64, 31, 32, 1000, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let cum = snap.octave_cumulative();
+        assert_eq!(cum.len(), OCTAVES as usize + 1);
+        assert_eq!(cum.last().map(|&(_, c)| c), Some(snap.count));
+        // `le`s strictly increase; cumulative counts never decrease.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! `spsep-telemetry` — the daemon's always-on telemetry plane.
+//!
+//! Three pieces, all zero-dependency and allocation-free on the hot
+//! path (DESIGN.md §14):
+//!
+//! * [`hist`] / [`registry`] — a lock-free metrics registry of
+//!   monotonic [`Counter`]s, [`Gauge`]s, and fixed-footprint
+//!   log-bucketed [`Histogram`]s (HdrHistogram-style power-of-two
+//!   octaves with 32 sub-buckets, ≤ 3.125% relative bucket width),
+//!   sharded per recording thread and merged deterministically on
+//!   read;
+//! * [`prom`] — a hand-rolled Prometheus text-format writer, a strict
+//!   [`validate_prometheus_text`] validator in the style of the bench
+//!   JSON validators, and a sample parser the load harness uses to
+//!   diff counters across a run;
+//! * [`flight`] — an always-on [`FlightRecorder`]: bounded per-worker
+//!   rings of per-request records, frozen into a deterministically
+//!   ordered window dump whenever a request errors or crosses a
+//!   latency threshold (renderable as text or as a Chrome trace via
+//!   the `spsep-trace` exporter).
+//!
+//! The serving daemon (`spsep-serve`) owns one [`Registry`] and one
+//! [`FlightRecorder`] per process and exposes the rendered text both
+//! over the wire (`Request::Metrics`) and on a plain-HTTP side port
+//! (`GET /metrics`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod flight;
+pub mod hist;
+pub mod prom;
+pub mod registry;
+
+pub use flight::{
+    dump_chrome_json, fnv1a, render_dump, DumpReason, FlightConfig, FlightDump, FlightRecorder,
+    RequestRecord,
+};
+pub use hist::{bucket_bounds, bucket_index, HistSnapshot, Histogram, BUCKETS, OCTAVES, SUB};
+pub use prom::{counter_samples, parse_samples, render, validate_prometheus_text, Sample};
+pub use registry::{Counter, Gauge, Registry};

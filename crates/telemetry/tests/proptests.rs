@@ -1,0 +1,138 @@
+//! Property tests for the telemetry plane: the merged registry read
+//! must depend only on the multiset of recorded values — never on the
+//! number of recording threads, the partition of values across them,
+//! or interleaving — and every rendered exposition must satisfy its
+//! own validator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::thread;
+
+use spsep_telemetry::{
+    bucket_bounds, bucket_index, render, validate_prometheus_text, Histogram, Registry,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recording the same multiset of values through 1, 2, 4, or 7
+    /// threads (arbitrary partition) yields identical snapshots.
+    #[test]
+    fn histogram_merge_is_thread_count_independent(
+        seed in any::<u64>(), n in 0usize..4000
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<u64> = (0..n)
+            .map(|_| {
+                let mag = rng.gen_range(0u32..40);
+                rng.gen_range(0u64..(1u64 << mag).max(1))
+            })
+            .collect();
+
+        let reference = Histogram::new();
+        for &v in &values {
+            reference.record(v);
+        }
+        let expected = reference.snapshot();
+
+        for threads in [1usize, 2, 4, 7] {
+            let h = Arc::new(Histogram::new());
+            let chunks: Vec<Vec<u64>> = (0..threads)
+                .map(|t| values.iter().copied().skip(t).step_by(threads).collect())
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let h = Arc::clone(&h);
+                    thread::spawn(move || {
+                        for v in chunk {
+                            h.record(v);
+                        }
+                    })
+                })
+                .collect();
+            for j in handles {
+                j.join().unwrap();
+            }
+            prop_assert_eq!(&h.snapshot(), &expected, "threads={}", threads);
+        }
+    }
+
+    /// Recording order never matters (shuffled single-thread replay).
+    #[test]
+    fn histogram_merge_is_order_independent(seed in any::<u64>(), n in 0usize..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1 << 30)).collect();
+        let a = Histogram::new();
+        for &v in &values {
+            a.record(v);
+        }
+        // Fisher–Yates shuffle.
+        for i in (1..values.len()).rev() {
+            values.swap(i, rng.gen_range(0usize..=i));
+        }
+        let b = Histogram::new();
+        for &v in &values {
+            b.record(v);
+        }
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    /// Every recorded value lands in a bucket whose bounds contain it,
+    /// and the nearest-rank quantile of the snapshot is within one
+    /// bucket width of the exact nearest-rank percentile.
+    #[test]
+    fn quantiles_track_exact_percentiles(seed in any::<u64>(), n in 1usize..3000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1 << 34)).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            prop_assert!(lo <= v && (v < hi || hi == u64::MAX));
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5f64, 0.99, 0.999] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let est = snap.quantile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(est >= exact, "q={} est {} < exact {}", q, est, exact);
+            prop_assert!(
+                est - exact <= hi - lo,
+                "q={}: est {} off exact {} by more than bucket [{} {})", q, est, exact, lo, hi
+            );
+        }
+    }
+
+    /// A registry populated with arbitrary counters/gauges/histograms
+    /// always renders validator-clean, deterministic text.
+    #[test]
+    fn rendered_exposition_always_validates(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = Registry::new();
+        for i in 0..rng.gen_range(1usize..6) {
+            r.counter_with(
+                &format!("c{i}_total"),
+                &[("kind", ["a", "b", "c"][i % 3])],
+                "a counter",
+            )
+            .add(rng.gen_range(0u64..1000));
+        }
+        for i in 0..rng.gen_range(0usize..4) {
+            r.gauge(&format!("g{i}"), "a gauge").set(rng.gen_range(-10.0..1e9));
+        }
+        let h = r.histogram("lat_ns", "latency");
+        for _ in 0..rng.gen_range(0usize..500) {
+            h.record(rng.gen_range(0u64..1 << 28));
+        }
+        let text = render(&r);
+        prop_assert_eq!(&text, &render(&r));
+        prop_assert!(validate_prometheus_text(&text).is_ok(),
+            "{:?}", validate_prometheus_text(&text));
+    }
+}

@@ -51,6 +51,14 @@
 //!                       excess connections get a typed Overloaded error
 //! --cache <rows>        LRU capacity of the per-source table cache
 //! --batch               replay: answer all point queries as one batch
+//! --metrics-listen <a>  bind a plain-HTTP side port answering
+//!                       `GET /metrics` with the Prometheus exposition
+//! --slow-us <t>         flight-recorder slow threshold: any request
+//!                       served slower than t µs dumps the surrounding
+//!                       window (errors always trigger)
+//! --no-telemetry        runtime switch: skip all registry and flight
+//!                       recording (counters for wire Stats still run)
+//! --flight-out <file>   write captured flight-recorder dumps on exit
 //! ```
 //!
 //! `load` drives an open-loop chaos load against a running daemon
@@ -69,8 +77,14 @@
 //! --seed <s>            deterministic schedule seed
 //! --verify <oracle.sps> check every answer bit-for-bit vs this snapshot
 //! --load-out <p.json>   write the validated spsep-serve-bench/v1 report
+//! --json <report.json>  write the validated spsep-load-report/v1 report
+//!                       (client + daemon view + scraped metrics delta)
 //! --shutdown            ask the daemon to drain and exit afterwards
 //! ```
+//!
+//! `load` also scrapes the daemon's metrics (wire `Metrics` opcode)
+//! before and after the run, validates the exposition, and prints the
+//! counter delta summary.
 //!
 //! Graphs are DIMACS `sp` files (`p sp n m` + `a u v w`, 1-based).
 
@@ -102,6 +116,10 @@ struct Args {
     cache: Option<usize>,
     batch: bool,
     listen: Option<String>,
+    metrics_listen: Option<String>,
+    slow_us: Option<u64>,
+    no_telemetry: bool,
+    flight_out: Option<String>,
     workers: usize,
     queue_depth: usize,
     rate: f64,
@@ -114,6 +132,7 @@ struct Args {
     seed: Option<u64>,
     verify: Option<String>,
     load_out: Option<String>,
+    json_out: Option<String>,
     shutdown_after: bool,
     format: String,
 }
@@ -127,10 +146,12 @@ fn usage() -> ExitCode {
          [--cache rows] [--batch] [--print-dists]\n\
          \x20      spsep-cli serve <oracle.sps> --listen host:port \
          [--workers k] [--queue-depth d] [--cache rows]\n\
+         \x20       [--metrics-listen host:port] [--slow-us t] \
+         [--no-telemetry] [--flight-out dump.txt]\n\
          \x20      spsep-cli load <host:port> [--rate r] [--duration s] \
          [--conns k] [--mix p:s:b] [--batch-size k]\n\
          \x20       [--zipf t] [--chaos p] [--seed s] [--verify oracle.sps] \
-         [--load-out p.json] [--shutdown]"
+         [--load-out p.json] [--json report.json] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -156,6 +177,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         cache: None,
         batch: false,
         listen: None,
+        metrics_listen: None,
+        slow_us: None,
+        no_telemetry: false,
+        flight_out: None,
         workers: 4,
         queue_depth: 64,
         rate: 500.0,
@@ -168,6 +193,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         seed: None,
         verify: None,
         load_out: None,
+        json_out: None,
         shutdown_after: false,
         format: "v2".into(),
     };
@@ -205,6 +231,16 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--batch" => args.batch = true,
             "--listen" => args.listen = Some(argv.next().ok_or_else(usage)?),
+            "--metrics-listen" => args.metrics_listen = Some(argv.next().ok_or_else(usage)?),
+            "--slow-us" => {
+                args.slow_us = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(usage)?,
+                )
+            }
+            "--no-telemetry" => args.no_telemetry = true,
+            "--flight-out" => args.flight_out = Some(argv.next().ok_or_else(usage)?),
             "--workers" => {
                 args.workers = argv
                     .next()
@@ -280,6 +316,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--verify" => args.verify = Some(argv.next().ok_or_else(usage)?),
             "--load-out" => args.load_out = Some(argv.next().ok_or_else(usage)?),
+            "--json" => args.json_out = Some(argv.next().ok_or_else(usage)?),
             "--shutdown" => args.shutdown_after = true,
             _ => return Err(usage()),
         }
@@ -687,8 +724,23 @@ fn print_cache_stats(oracle: &Oracle) {
 /// SIGINT/SIGTERM or a wire `Shutdown` request starts the drain, then
 /// prints the final stats — queue-wait separated from service time —
 /// and returns cleanly (exit 0).
-fn cmd_daemon(args: &Args, oracle: Oracle) -> Result<(), String> {
+fn cmd_daemon(args: &Args, mut oracle: Oracle) -> Result<(), String> {
     let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+    // A `<snapshot>.ledger` sidecar written by `prepare` carries the
+    // Theorem 4.1/5.1 work/depth ledger into the daemon, where the
+    // telemetry plane exports it as `spsep_ledger_*` gauges. Absence is
+    // fine (old snapshots); a corrupt sidecar is a hard error rather
+    // than silently serving without the paper's envelopes.
+    let sidecar = format!("{}.ledger", args.graph_path);
+    match std::fs::read_to_string(&sidecar) {
+        Ok(text) => {
+            let ledger = spsep::core::analysis::ledger_from_text(&text)
+                .map_err(|e| format!("{sidecar}: {e}"))?;
+            oracle.set_ledger(ledger);
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot read {sidecar}: {e}")),
+    }
     let oracle = std::sync::Arc::new(oracle);
     serve::install_signal_handlers();
     let server = serve::Server::bind(
@@ -697,21 +749,41 @@ fn cmd_daemon(args: &Args, oracle: Oracle) -> Result<(), String> {
             addr: listen.to_string(),
             workers: args.workers,
             queue_depth: args.queue_depth,
+            telemetry: !args.no_telemetry,
+            metrics_addr: args.metrics_listen.clone(),
+            slow_us: args.slow_us,
             ..serve::ServeConfig::default()
         },
     )
     .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
     // Stdout is line-buffered: this announcement is visible to a parent
     // process (or test harness) as soon as it is printed.
     println!(
         "listening on {addr} ({} workers, queue depth {})",
         args.workers, args.queue_depth
     );
+    if let Some(maddr) = server.metrics_addr() {
+        println!("metrics on http://{maddr}/metrics");
+    }
     let stats = server.run().map_err(|e| format!("daemon failed: {e}"))?;
     println!("shutdown: drained, final stats follow");
     print_wire_stats(&stats);
     print_cache_stats(&oracle);
+    let dumps = handle.flight_dumps();
+    if !dumps.is_empty() {
+        println!("flight recorder: {} dump(s) captured", dumps.len());
+    }
+    if let Some(path) = &args.flight_out {
+        let mut out = String::new();
+        for dump in &dumps {
+            out.push_str(&spsep::telemetry::render_dump(dump));
+            out.push('\n');
+        }
+        std::fs::write(path, &out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("flight dumps written to {path}");
+    }
     Ok(())
 }
 
@@ -728,9 +800,14 @@ fn print_wire_stats(stats: &serve::WireStats) {
         stats.errors[0], stats.errors[1], stats.errors[2], stats.errors[3], stats.errors[4]
     );
     println!(
-        "latency: queue-wait p50 = {:.1} us, p99 = {:.1} us; \
-         service p50 = {:.1} us, p99 = {:.1} us",
-        stats.queue_wait_us[0], stats.queue_wait_us[1], stats.service_us[0], stats.service_us[1]
+        "latency: queue-wait p50 = {:.1} us, p99 = {:.1} us, p999 = {:.1} us; \
+         service p50 = {:.1} us, p99 = {:.1} us, p999 = {:.1} us",
+        stats.queue_wait_us[0],
+        stats.queue_wait_us[1],
+        stats.queue_wait_us[2],
+        stats.service_us[0],
+        stats.service_us[1],
+        stats.service_us[2]
     );
 }
 
@@ -834,6 +911,14 @@ fn cmd_load(args: &Args) -> Result<(), String> {
             stats.cache_hits, stats.cache_misses, stats.cache_evictions, stats.cache_shards
         );
     }
+    match report.metrics_valid {
+        Some(true) => println!(
+            "metrics: exposition valid, {} counter(s) moved during the run",
+            report.metrics_delta.len()
+        ),
+        Some(false) => println!("metrics: exposition INVALID (validator rejected it)"),
+        None => println!("metrics: scrape unavailable (telemetry off or old daemon)"),
+    }
 
     if let Some(path) = &args.load_out {
         let stats = report
@@ -854,8 +939,10 @@ fn cmd_load(args: &Args) -> Result<(), String> {
             errors: report.errors.clone(),
             served: stats.served,
             shed: stats.shed,
-            queue_wait_us: stats.queue_wait_us,
-            service_us: stats.service_us,
+            // The wire carries p50/p99/p999; the v1 artifact schema
+            // keeps its original two-percentile shape.
+            queue_wait_us: [stats.queue_wait_us[0], stats.queue_wait_us[1]],
+            service_us: [stats.service_us[0], stats.service_us[1]],
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
             cache_shards: stats.cache_shards as u64,
@@ -865,6 +952,20 @@ fn cmd_load(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("load report failed validation: {e}"))?;
         std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote load report to {path}");
+    }
+
+    if let Some(path) = &args.json_out {
+        let json = spsep_bench::loadrep::load_report_json(
+            addr,
+            args.rate,
+            args.duration_s,
+            args.conns,
+            &report,
+        );
+        spsep_bench::loadrep::validate_load_report_json(&json)
+            .map_err(|e| format!("load report failed validation: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote spsep-load-report/v1 to {path}");
     }
 
     if args.shutdown_after {
@@ -994,6 +1095,14 @@ fn run() -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
             ledger = Some(work_ledger(&tree, args.algo, &metrics.report(), None));
+            // Sidecar for the daemon's telemetry plane: `serve --listen`
+            // reads `<snapshot>.ledger` and exports the Theorem 4.1/5.1
+            // envelopes as gauges.
+            if let Some(l) = &ledger {
+                let sidecar = format!("{out_path}.ledger");
+                std::fs::write(&sidecar, spsep::core::analysis::ledger_to_text(l))
+                    .map_err(|e| format!("cannot write {sidecar}: {e}"))?;
+            }
             let mut buf = Vec::new();
             if args.format == "v1" {
                 oracle.save(&mut buf).map_err(|e| e.to_string())?;

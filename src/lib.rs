@@ -19,7 +19,10 @@
 //!   the human span-tree report (DESIGN.md §9);
 //! * [`serve`] — the long-lived TCP query daemon: framed protocol,
 //!   admission control, graceful shutdown, and the fault-injecting
-//!   load harness (DESIGN.md §11).
+//!   load harness (DESIGN.md §11);
+//! * [`telemetry`] — the lock-free metrics registry, Prometheus text
+//!   exposition, and the slow-query flight recorder behind the
+//!   daemon's live telemetry plane (DESIGN.md §14).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -30,5 +33,6 @@ pub use spsep_planar as planar;
 pub use spsep_pram as pram;
 pub use spsep_separator as separator;
 pub use spsep_serve as serve;
+pub use spsep_telemetry as telemetry;
 pub use spsep_trace as trace;
 pub use spsep_tvpi as tvpi;
