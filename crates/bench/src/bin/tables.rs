@@ -19,10 +19,12 @@
 //!     e21 --simd-out BENCH_simd.json           # scalar-vs-SIMD kernels
 //! cargo run --release -p spsep-bench --bin tables -- \
 //!     e22 --obs-out BENCH_obs.json             # telemetry overhead
+//! cargo run --release -p spsep-bench --bin tables -- \
+//!     e23 --sep-out BENCH_sep.json             # road-network separators
 //! ```
 //!
 //! Experiment ids: e1 e2 e3 e4 e5 fig1 fig2 e8 e9 e10 e11 e12 e13 e14
-//! e15 e16 e17 e18 e19 e20 e21 e22 check
+//! e15 e16 e17 e18 e19 e20 e21 e22 e23 check
 //! (see DESIGN.md §4 for the paper-artifact mapping).
 //!
 //! Flags: `--kernels-out <path>` writes the validated
@@ -38,18 +40,20 @@
 //! <path>` / `--simd-in <path>` for E21's `spsep-simd-bench/v1`
 //! scalar-vs-SIMD kernel benchmark; `--obs-out <path>` / `--obs-in
 //! <path>` for E22's `spsep-obs-bench/v1` telemetry-overhead
-//! benchmark; `--smoke` shrinks E16/E17/E18/E19/E20/E21/E22 to
-//! CI-sized instances.
+//! benchmark; `--sep-out <path>` / `--sep-in <path>` for E23's
+//! `spsep-sep-bench/v1` road-network separator-quality benchmark;
+//! `--smoke` shrinks E16/E17/E18/E19/E20/E21/E22/E23 to CI-sized
+//! instances.
 //!
 //! Unknown experiment ids and flags are reported with the valid set —
 //! never a bare panic.
 
-use spsep_bench::{amortize, experiments, kernels, mmap, obs, phases, serve, simd};
+use spsep_bench::{amortize, experiments, kernels, mmap, obs, phases, sep, serve, simd};
 
 /// Every experiment id `tables` understands, in presentation order.
 const VALID_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "fig1", "fig2", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "check", "all",
+    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "check", "all",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -58,7 +62,8 @@ fn fail(msg: &str) -> ! {
         "usage: tables [ids...] [--smoke] [--kernels-out p] [--phases-out p] \
          [--phases-in p] [--amortize-out p] [--amortize-in p] \
          [--serve-out p] [--serve-in p] [--mmap-out p] [--mmap-in p] \
-         [--simd-out p] [--simd-in p] [--obs-out p] [--obs-in p]\n\
+         [--simd-out p] [--simd-in p] [--obs-out p] [--obs-in p] \
+         [--sep-out p] [--sep-in p]\n\
          valid ids: {}",
         VALID_IDS.join(" ")
     );
@@ -97,6 +102,8 @@ fn main() {
     let mut simd_in: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut obs_in: Option<String> = None;
+    let mut sep_out: Option<String> = None;
+    let mut sep_in: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -115,6 +122,8 @@ fn main() {
             "--simd-in" => simd_in = Some(flag_value(&mut it, "--simd-in")),
             "--obs-out" => obs_out = Some(flag_value(&mut it, "--obs-out")),
             "--obs-in" => obs_in = Some(flag_value(&mut it, "--obs-in")),
+            "--sep-out" => sep_out = Some(flag_value(&mut it, "--sep-out")),
+            "--sep-in" => sep_in = Some(flag_value(&mut it, "--sep-in")),
             flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
             id if !VALID_IDS.contains(&id) => fail(&format!("unknown experiment id '{id}'")),
             _ => args.push(a),
@@ -344,6 +353,28 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("obs artifact failed validation: {e}")));
             if let Some(path) = &obs_out {
                 write_or_fail(path, &json, "obs artifact");
+                eprintln!("[tables] wrote {path} ({entries} entries)");
+            }
+        }
+    }
+    if want("e23") || sep_out.is_some() || sep_in.is_some() {
+        if let Some(path) = &sep_in {
+            let json = read_or_fail(path, "sep artifact");
+            let records = sep::read_sep_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "{hr}\nE23 — separator quality from {path} ({} entries):\n\n{}",
+                records.len(),
+                sep::render_sep_table(&records)
+            );
+        } else {
+            let (report, records) = sep::e23_separators(smoke);
+            println!("{hr}\n{report}");
+            let json = sep::sep_json(&records);
+            let entries = sep::validate_sep_json(&json)
+                .unwrap_or_else(|e| fail(&format!("sep artifact failed validation: {e}")));
+            if let Some(path) = &sep_out {
+                write_or_fail(path, &json, "sep artifact");
                 eprintln!("[tables] wrote {path} ({entries} entries)");
             }
         }

@@ -14,6 +14,7 @@ pub mod loadrep;
 pub mod mmap;
 pub mod obs;
 pub mod phases;
+pub mod sep;
 pub mod serve;
 pub mod simd;
 

@@ -160,7 +160,7 @@ pub fn graph_from_bytes(bytes: &[u8]) -> Result<DiGraph<f64>, SpsepError> {
     Ok(DiGraph::from_edges(n, edges))
 }
 
-fn parse_field<T: std::str::FromStr>(
+pub(crate) fn parse_field<T: std::str::FromStr>(
     field: Option<&str>,
     lineno: usize,
     what: &str,

@@ -39,6 +39,7 @@ pub mod dense;
 pub mod digraph;
 pub mod error;
 pub mod generators;
+pub mod import;
 pub mod io;
 pub mod order;
 pub mod semiring;

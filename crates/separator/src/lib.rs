@@ -45,4 +45,8 @@ pub mod treewidth;
 
 pub use engine::{RecursionLimits, Separation, SubProblem};
 pub use order::separator_locality_order;
+pub use planar::{
+    certify_near_planar, planar_level_tree, road_network, separator_quality, NearPlanarCheck,
+    QualityReport,
+};
 pub use tree::{NodeId, SepNode, SepTree, UNDEFINED_LEVEL};

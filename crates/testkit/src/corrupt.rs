@@ -984,6 +984,241 @@ pub fn wire_corruptions() -> Vec<WireCorruption> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Import corruptions (raw road-network ingestion, ISSUE 10)
+// ---------------------------------------------------------------------------
+
+/// Which `spsep_graph::import` entry point must reject the payload.
+pub enum ImportInput {
+    /// DIMACS `.gr` text → `spsep_graph::io::read_dimacs`.
+    Gr(&'static str),
+    /// DIMACS `.ss` auxiliary source text → `import::read_ss` with the
+    /// given vertex count.
+    Ss {
+        /// The malformed file body.
+        text: &'static str,
+        /// The graph's vertex count the sources are validated against.
+        n: usize,
+    },
+    /// CSV edge list → `import::read_csv_edges`.
+    Csv(&'static str),
+    /// Binary CSR directory → `import::read_csr_dir` (the driver
+    /// materializes the three files in a temp directory).
+    CsrDir {
+        /// `first_out` file bytes.
+        first_out: Vec<u8>,
+        /// `head` file bytes.
+        head: Vec<u8>,
+        /// `weight` file bytes.
+        weight: Vec<u8>,
+    },
+}
+
+/// A named malformed raw instance for the ingestion layer.
+pub struct ImportCorruption {
+    /// Stable identifier (used in assertion messages).
+    pub name: &'static str,
+    /// The hostile payload and the parser it targets.
+    pub input: ImportInput,
+}
+
+/// Little-endian `u32` array file bytes for CSR corruption entries.
+fn le_words(words: &[u32]) -> Vec<u8> {
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+/// Malformed raw road-network instances, one per failure class the
+/// ingestion layer must reject with a typed [`SpsepError`] — never a
+/// panic, never a silently wrong graph. Classes per ISSUE 10: malformed
+/// headers, arc-count lies, overflowing ids, NaN/negative weights, and
+/// truncations, for every supported container (`.gr`, `.ss`, CSV,
+/// binary CSR directory). Driven by `tests/fault_injection.rs`.
+///
+/// [`SpsepError`]: spsep_core::SpsepError
+pub fn import_corruptions() -> Vec<ImportCorruption> {
+    use ImportInput::*;
+    vec![
+        // -- DIMACS .gr: headers ------------------------------------------
+        ImportCorruption {
+            name: "gr: missing problem line",
+            input: Gr("c no header\n"),
+        },
+        ImportCorruption {
+            name: "gr: duplicate problem line",
+            input: Gr("p sp 2 1\np sp 2 1\na 1 2 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: wrong problem magic",
+            input: Gr("p max 2 1\na 1 2 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: non-numeric vertex count",
+            input: Gr("p sp two 1\na 1 2 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: truncated header (missing arc count)",
+            input: Gr("p sp 2\na 1 2 1\n"),
+        },
+        // -- DIMACS .gr: arc records --------------------------------------
+        ImportCorruption {
+            name: "gr: arc before problem line",
+            input: Gr("a 1 2 1\np sp 2 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: arc-count lie (fewer arcs than declared)",
+            input: Gr("p sp 2 2\na 1 2 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: arc-count lie (more arcs than declared)",
+            input: Gr("p sp 2 1\na 1 2 1\na 2 1 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: vertex id 0 (ids are 1-based)",
+            input: Gr("p sp 2 1\na 0 2 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: vertex id beyond n",
+            input: Gr("p sp 2 1\na 1 3 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: vertex id overflowing u64",
+            input: Gr("p sp 2 1\na 1 99999999999999999999999999 1\n"),
+        },
+        ImportCorruption {
+            name: "gr: NaN weight",
+            input: Gr("p sp 2 1\na 1 2 NaN\n"),
+        },
+        ImportCorruption {
+            name: "gr: infinite weight",
+            input: Gr("p sp 2 1\na 1 2 inf\n"),
+        },
+        ImportCorruption {
+            name: "gr: truncated arc record (missing weight)",
+            input: Gr("p sp 2 1\na 1 2\n"),
+        },
+        ImportCorruption {
+            name: "gr: unknown record kind",
+            input: Gr("p sp 2 1\nz 1 2 1\na 1 2 1\n"),
+        },
+        // -- DIMACS .ss ---------------------------------------------------
+        ImportCorruption {
+            name: "ss: missing problem line",
+            input: Ss {
+                text: "s 1\n",
+                n: 10,
+            },
+        },
+        ImportCorruption {
+            name: "ss: duplicate problem line",
+            input: Ss {
+                text: "p aux sp ss 1\np aux sp ss 1\ns 1\n",
+                n: 10,
+            },
+        },
+        ImportCorruption {
+            name: "ss: malformed header magic",
+            input: Ss {
+                text: "p sp ss 1\ns 1\n",
+                n: 10,
+            },
+        },
+        ImportCorruption {
+            name: "ss: source-count lie (truncation)",
+            input: Ss {
+                text: "p aux sp ss 3\ns 1\ns 2\n",
+                n: 10,
+            },
+        },
+        ImportCorruption {
+            name: "ss: source id 0 (ids are 1-based)",
+            input: Ss {
+                text: "p aux sp ss 1\ns 0\n",
+                n: 10,
+            },
+        },
+        ImportCorruption {
+            name: "ss: source id beyond n",
+            input: Ss {
+                text: "p aux sp ss 1\ns 11\n",
+                n: 10,
+            },
+        },
+        ImportCorruption {
+            name: "ss: unknown record kind",
+            input: Ss {
+                text: "p aux sp ss 1\ns 1\nq 2\n",
+                n: 10,
+            },
+        },
+        // -- CSV edge lists -----------------------------------------------
+        ImportCorruption {
+            name: "csv: truncated record (missing weight field)",
+            input: Csv("0,1\n"),
+        },
+        ImportCorruption {
+            name: "csv: trailing extra field",
+            input: Csv("0,1,2.0,bogus\n"),
+        },
+        ImportCorruption {
+            name: "csv: non-numeric vertex id",
+            input: Csv("a,1,2.0\n"),
+        },
+        ImportCorruption {
+            name: "csv: vertex id overflowing u32",
+            input: Csv("0,4294967295,2.0\n"),
+        },
+        ImportCorruption {
+            name: "csv: NaN weight",
+            input: Csv("0,1,NaN\n"),
+        },
+        ImportCorruption {
+            name: "csv: negative travel time",
+            input: Csv("0,1,-4.5\n"),
+        },
+        // -- Binary CSR directories ---------------------------------------
+        ImportCorruption {
+            name: "csr: truncated first_out (not a multiple of 4 bytes)",
+            input: CsrDir {
+                first_out: vec![0, 0, 0],
+                head: le_words(&[]),
+                weight: le_words(&[]),
+            },
+        },
+        ImportCorruption {
+            name: "csr: empty first_out",
+            input: CsrDir {
+                first_out: le_words(&[]),
+                head: le_words(&[]),
+                weight: le_words(&[]),
+            },
+        },
+        ImportCorruption {
+            name: "csr: arc-count lie (head shorter than declared)",
+            input: CsrDir {
+                first_out: le_words(&[0, 2, 3]),
+                head: le_words(&[1, 0]),
+                weight: le_words(&[10, 20, 30]),
+            },
+        },
+        ImportCorruption {
+            name: "csr: head id beyond n",
+            input: CsrDir {
+                first_out: le_words(&[0, 1, 2]),
+                head: le_words(&[1, 7]),
+                weight: le_words(&[10, 20]),
+            },
+        },
+        ImportCorruption {
+            name: "csr: non-monotone first_out",
+            input: CsrDir {
+                first_out: le_words(&[0, 2, 1]),
+                head: le_words(&[1]),
+                weight: le_words(&[10]),
+            },
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1019,6 +1254,30 @@ mod tests {
         for c in &catalog {
             assert!(names.insert(c.name), "duplicate corruption name {}", c.name);
             assert!(!(c.bytes)().is_empty() || c.disconnect_after);
+        }
+    }
+
+    #[test]
+    fn import_catalog_covers_every_format_and_class() {
+        let catalog = import_corruptions();
+        assert!(catalog.len() >= 25, "only {} import corruptions", catalog.len());
+        let mut names = std::collections::HashSet::new();
+        for c in &catalog {
+            assert!(names.insert(c.name), "duplicate corruption name {}", c.name);
+        }
+        // All four raw formats must be represented...
+        for prefix in ["gr:", "ss:", "csv:", "csr:"] {
+            assert!(
+                catalog.iter().any(|c| c.name.starts_with(prefix)),
+                "no import corruption covers format '{prefix}'"
+            );
+        }
+        // ...and each corruption class ISSUE 10 names.
+        for class in ["header", "count", "overflow", "NaN", "negative", "truncated"] {
+            assert!(
+                catalog.iter().any(|c| c.name.contains(class)),
+                "no import corruption covers class '{class}'"
+            );
         }
     }
 }

@@ -34,11 +34,18 @@
 //!   unassigned opcodes, mid-frame disconnects, pipelined garbage),
 //!   each annotated with the only acceptable daemon reactions. Driven
 //!   against a *live* daemon by `tests/wire.rs`, watchdogged.
+//!
+//! * [`corrupt::import_corruptions`] — malformed *raw* road-network
+//!   instances for the `spsep_graph::import` ingestion layer (DIMACS
+//!   `.gr`/`.ss`, CSV edge lists, binary CSR directories): malformed
+//!   headers, arc-count lies, overflowing ids, NaN/negative weights,
+//!   truncations. Driven by `tests/fault_injection.rs`.
 
 pub mod corrupt;
 
 pub use corrupt::{
-    instance_corruptions, snapshot_corruptions, snapshot_corruptions_v2, text_corruptions,
-    v2_section_bounds, v2_tree_semantic_patch, wire_corruptions, CorruptInstance,
-    SnapshotCorruption, TextCorruption, TextFormat, WireCorruption, WireExpectation,
+    import_corruptions, instance_corruptions, snapshot_corruptions, snapshot_corruptions_v2,
+    text_corruptions, v2_section_bounds, v2_tree_semantic_patch, wire_corruptions,
+    CorruptInstance, ImportCorruption, ImportInput, SnapshotCorruption, TextCorruption,
+    TextFormat, WireCorruption, WireExpectation,
 };

@@ -12,7 +12,9 @@ use spsep_graph::semiring::Tropical;
 use spsep_graph::DiGraph;
 use spsep_pram::Metrics;
 use spsep_separator::{builders, RecursionLimits, SepTree};
-use spsep_testkit::{instance_corruptions, text_corruptions, TextFormat};
+use spsep_testkit::{
+    import_corruptions, instance_corruptions, text_corruptions, ImportInput, TextFormat,
+};
 
 fn no_panic<T>(name: &str, f: impl FnOnce() -> T) -> T {
     match catch_unwind(AssertUnwindSafe(f)) {
@@ -160,6 +162,72 @@ fn every_instance_corruption_degrades_without_panics_or_wrong_distances() {
             }
         });
     }
+}
+
+#[test]
+fn every_import_corruption_is_rejected_with_a_typed_error() {
+    // The ingestion layer's contract (ISSUE 10): every malformed raw
+    // road-network instance — DIMACS text, CSV edge list, or binary CSR
+    // directory — is a typed `SpsepError`, never a panic.
+    let tmp = std::env::temp_dir().join(format!("spsep-import-corrupt-{}", std::process::id()));
+    for (i, c) in import_corruptions().into_iter().enumerate() {
+        let result: Result<(), SpsepError> = no_panic(c.name, || match &c.input {
+            ImportInput::Gr(text) => spsep_graph::io::read_dimacs(text.as_bytes()).map(|_| ()),
+            ImportInput::Ss { text, n } => {
+                spsep_graph::import::read_ss(text.as_bytes(), *n).map(|_| ())
+            }
+            ImportInput::Csv(text) => {
+                spsep_graph::import::read_csv_edges(text.as_bytes()).map(|_| ())
+            }
+            ImportInput::CsrDir {
+                first_out,
+                head,
+                weight,
+            } => {
+                let dir = tmp.join(format!("case-{i}"));
+                std::fs::create_dir_all(&dir).unwrap();
+                std::fs::write(dir.join("first_out"), first_out).unwrap();
+                std::fs::write(dir.join("head"), head).unwrap();
+                std::fs::write(dir.join("weight"), weight).unwrap();
+                spsep_graph::import::read_csr_dir(&dir).map(|_| ())
+            }
+        });
+        let Err(err) = result else {
+            panic!("import corruption '{}' parsed successfully", c.name);
+        };
+        assert!(!err.to_string().is_empty());
+        match err {
+            SpsepError::Parse { .. } => {}
+            other => panic!(
+                "import corruption '{}': unexpected error kind {other:?}",
+                c.name
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn uncorrupted_import_inputs_parse_cleanly() {
+    // Control for the corruption test above: pristine inputs in each of
+    // the four raw formats are accepted by the same entry points.
+    let gr = "p sp 3 3\na 1 2 1.5\na 2 3 2.0\na 3 1 0.5\n";
+    let g = spsep_graph::io::read_dimacs(gr.as_bytes()).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 3));
+    let sources = spsep_graph::import::read_ss("p aux sp ss 2\ns 1\ns 3\n".as_bytes(), 3).unwrap();
+    assert_eq!(sources, vec![0, 2]);
+    let csv = "from,to,weight\n0,1,1.5\n1,2,2.0\n2,0,0.5\n";
+    let g = spsep_graph::import::read_csv_edges(csv.as_bytes()).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 3));
+    let dir = std::env::temp_dir().join(format!("spsep-import-clean-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let le = |words: &[u32]| -> Vec<u8> { words.iter().flat_map(|w| w.to_le_bytes()).collect() };
+    std::fs::write(dir.join("first_out"), le(&[0, 1, 2, 3])).unwrap();
+    std::fs::write(dir.join("head"), le(&[1, 2, 0])).unwrap();
+    std::fs::write(dir.join("weight"), le(&[15, 20, 5])).unwrap();
+    let g = spsep_graph::import::read_csr_dir(&dir).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 3));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Property tests for the serialization layer and the fallback entry
 //! point.
 //!
-//! * **Round-trip fixed point** for all three text formats: for any
-//!   instance, `write → read → write` reproduces the first
-//!   serialization byte-for-byte (so `read` loses nothing and `write`
-//!   is canonical).
+//! * **Round-trip fixed point** for all three text formats plus the
+//!   CSV ingestion format: for any instance, `write → read → write`
+//!   reproduces the first serialization byte-for-byte (so `read` loses
+//!   nothing and `write` is canonical).
 //! * **Distance agreement** on random grid and partial-k-tree
 //!   instances: `preprocess_or_fallback` (fast path on these valid
 //!   inputs) agrees with Dijkstra everywhere, and keeps agreeing when a
@@ -82,6 +82,27 @@ proptest! {
         let back = spsep_separator::io::read_tree(first.as_slice()).unwrap();
         let mut second = Vec::new();
         spsep_separator::io::write_tree(&back, &mut second).unwrap();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn csv_export_import_is_a_fixed_point(
+        rows in 2usize..9,
+        cols in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        // Ingestion round-trip (ISSUE 10): exporting a graph to the CSV
+        // edge-list format and importing it back is bit-identical on
+        // the second write, so `read_csv_edges` loses nothing and
+        // `write_csv_edges` is canonical (shortest-round-trip floats).
+        let (g, _) = grid_instance(rows, cols, seed);
+        let mut first = Vec::new();
+        spsep_graph::import::write_csv_edges(&g, &mut first).unwrap();
+        let back = spsep_graph::import::read_csv_edges(first.as_slice()).unwrap();
+        prop_assert_eq!(back.n(), g.n());
+        prop_assert_eq!(back.m(), g.m());
+        let mut second = Vec::new();
+        spsep_graph::import::write_csv_edges(&back, &mut second).unwrap();
         prop_assert_eq!(first, second);
     }
 

@@ -1,0 +1,86 @@
+//! Regenerate the committed road-network instance under `data/`.
+//!
+//! ```text
+//! spsep-mkroad [<w> <h> <seed> <out.gr>]
+//! ```
+//!
+//! With no arguments, writes the canonical committed instance
+//! (`data/road-160x150.gr`, seed 20260808). The instance is a pure
+//! function of `(w, h, seed)` — see `spsep_separator::road_network` —
+//! so this binary is the provenance proof for the checked-in file:
+//! regenerate and `diff` to verify nobody edited it by hand (CI does).
+
+use spsep_graph::io::write_dimacs;
+use spsep_separator::road_network;
+use std::io::Write as _;
+
+/// The canonical committed instance: 160×150 lattice, 24 000 nodes.
+pub const CANONICAL: (usize, usize, u64, &str) = (160, 150, 20260808, "data/road-160x150.gr");
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (w, h, seed, out) = match args.len() {
+        0 => {
+            let (w, h, seed, out) = CANONICAL;
+            (w, h, seed, out.to_string())
+        }
+        4 => {
+            let parse = |s: &str, what: &str| -> usize {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("spsep-mkroad: bad {what} '{s}'");
+                    std::process::exit(2);
+                })
+            };
+            (
+                parse(&args[0], "width"),
+                parse(&args[1], "height"),
+                parse(&args[2], "seed") as u64,
+                args[3].clone(),
+            )
+        }
+        _ => {
+            eprintln!("usage: spsep-mkroad [<w> <h> <seed> <out.gr>]");
+            std::process::exit(2);
+        }
+    };
+    let (g, _, tri) = road_network(w, h, seed);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("spsep-mkroad: mkdir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let file = match std::fs::File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("spsep-mkroad: create {out}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut buf = std::io::BufWriter::new(file);
+    // A comment header makes the file self-describing; read_dimacs
+    // skips `c` lines, so the body stays canonical.
+    let header = format!(
+        "c spsep road-network instance: {w}x{h} jittered triangulated lattice\n\
+         c generator: spsep-mkroad {w} {h} {seed} (pure function of these args)\n\
+         c weights: travel time, arterial grid every 8th line, 0.1 granularity\n\
+         c faces: {} (planar by construction)\n",
+        tri.faces.len()
+    );
+    let write = buf
+        .write_all(header.as_bytes())
+        .and_then(|()| write_dimacs(&g, &mut buf))
+        .and_then(|()| buf.flush());
+    if let Err(e) = write {
+        eprintln!("spsep-mkroad: write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {out}: n={} m={} faces={} (seed {seed})",
+        g.n(),
+        g.m(),
+        tri.faces.len()
+    );
+}

@@ -345,6 +345,80 @@ fn error_paths() {
 }
 
 #[test]
+fn mkroad_regenerates_the_committed_instance_bit_exactly() {
+    // data/README.md's provenance claim: the committed road instance is
+    // a pure function of (w, h, seed), so regenerating it reproduces
+    // the checked-in bytes exactly — nobody edited the file by hand.
+    let dir = std::env::temp_dir().join("spsep-cli-test-mkroad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("regen.gr");
+    let out = Command::new(env!("CARGO_BIN_EXE_spsep-mkroad"))
+        .args(["160", "150", "20260808"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/data/road-160x150.gr");
+    let want = std::fs::read(committed).unwrap();
+    let got = std::fs::read(&out_path).unwrap();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "regenerated instance differs in size from data/road-160x150.gr"
+    );
+    assert!(got == want, "regenerated instance differs from data/road-160x150.gr");
+}
+
+#[test]
+fn committed_road_instance_parses_and_certifies_near_planar() {
+    // Importer smoke on the real committed instance (CI runs this):
+    // the file parses through the hardened DIMACS reader, is strongly
+    // connected (largest-SCC extraction keeps everything), and the
+    // near-planar certificate that drives `-b auto` holds.
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/data/road-160x150.gr");
+    let g = spsep::graph::io::read_dimacs(std::fs::File::open(committed).map(std::io::BufReader::new).unwrap())
+        .unwrap();
+    assert_eq!((g.n(), g.m()), (24_000, 142_762));
+    let (_, report) = spsep::graph::import::import(&g, Default::default()).unwrap();
+    assert_eq!(report.scc_count, 1, "road instance must be strongly connected");
+    assert_eq!(report.nodes_kept, g.n());
+    let check = spsep::separator::certify_near_planar(&g.undirected_skeleton());
+    assert!(check.near_planar, "{check:?}");
+}
+
+#[test]
+fn import_subcommand_ingests_csv_and_writes_canonical_gr() {
+    let dir = std::env::temp_dir().join("spsep-cli-test-import");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A 3-cycle plus a dangling sink vertex: largest-SCC extraction
+    // must drop vertex 3 and renumber, and the report must say so.
+    let csv = dir.join("edges.csv");
+    std::fs::write(&csv, "from,to,weight\n0,1,1.5\n1,2,2.25\n2,0,0.5\n2,3,9.0\n").unwrap();
+    let gr = dir.join("edges.gr");
+    let out = cli().arg("import").arg(&csv).arg("-o").arg(&gr).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("n = 4"), "{text}");
+    assert!(text.contains("dropped 1 vert"), "{text}");
+    let g = spsep::graph::io::read_dimacs(std::fs::read(&gr).unwrap().as_slice()).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 3));
+
+    // The emitted .gr is canonical: importing it again is a fixed point.
+    let gr2 = dir.join("edges2.gr");
+    let out = cli().arg("import").arg(&gr).arg("-o").arg(&gr2).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&gr).unwrap(), std::fs::read(&gr2).unwrap());
+
+    // Malformed input: typed line-numbered error on stderr, no panic.
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "from,to,weight\n0,1,NaN\n").unwrap();
+    let out = cli().arg("import").arg(&bad).arg("-o").arg(dir.join("bad.gr")).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
 fn daemon_serves_load_and_exits_zero_on_shutdown() {
     use std::io::{BufRead, BufReader};
     use std::process::Stdio;
